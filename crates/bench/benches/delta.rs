@@ -1,0 +1,57 @@
+//! Micro-benchmarks for the delta coder: encoding a page patch against
+//! a similar/dissimilar base (dedup-op cost) and applying it (restore-op
+//! cost, on the request critical path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medes_delta::{apply, diff};
+use medes_sim::DetRng;
+
+fn page(seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    let mut p = vec![0u8; 4096];
+    rng.fill_bytes(&mut p);
+    p
+}
+
+fn similar_pair() -> (Vec<u8>, Vec<u8>) {
+    let base = page(1);
+    let mut target = base.clone();
+    let mut rng = DetRng::new(2);
+    for _ in 0..6 {
+        let off = rng.below(3800) as usize;
+        for b in &mut target[off..off + 32] {
+            *b = rng.next_u8();
+        }
+    }
+    (base, target)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_encode");
+    g.throughput(Throughput::Bytes(4096));
+    let (base, target) = similar_pair();
+    for level in [1u8, 5, 9] {
+        g.bench_with_input(
+            BenchmarkId::new("similar_page", level),
+            &level,
+            |b, &lvl| b.iter(|| diff(&base, &target, lvl)),
+        );
+    }
+    let unrelated = page(99);
+    g.bench_function("unrelated_page_level1", |b| {
+        b.iter(|| diff(&base, &unrelated, 1))
+    });
+    g.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let (base, target) = similar_pair();
+    let patch = diff(&base, &target, 1);
+    let mut g = c.benchmark_group("delta_apply");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("similar_page", |b| b.iter(|| apply(&base, &patch).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_apply);
+criterion_main!(benches);

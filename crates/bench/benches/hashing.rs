@@ -1,0 +1,74 @@
+//! Micro-benchmarks for the hashing primitives: SHA-1, the rolling
+//! Karp–Rabin window, and value-sampled page fingerprints — the
+//! per-page costs of the dedup op's identification phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medes_hash::rabin::{scan_windows, RollingHash};
+use medes_hash::sample::{page_fingerprint, FingerprintConfig};
+use medes_hash::{chunk_hash, Sha1};
+use medes_sim::DetRng;
+
+fn page(seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    let mut p = vec![0u8; 4096];
+    rng.fill_bytes(&mut p);
+    p
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 4096, 65536] {
+        let data = page(1).repeat(size.div_ceil(4096));
+        let data = &data[..size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| Sha1::digest(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunk_hash(c: &mut Criterion) {
+    let p = page(2);
+    c.bench_function("chunk_hash_64B", |b| b.iter(|| chunk_hash(&p[..64])));
+}
+
+fn bench_rolling_scan(c: &mut Criterion) {
+    let p = page(3);
+    let mut g = c.benchmark_group("rabin");
+    g.throughput(Throughput::Bytes(p.len() as u64));
+    g.bench_function("scan_page_64B_window", |b| {
+        b.iter(|| {
+            scan_windows(&p, 64)
+                .map(|(_, h)| h)
+                .fold(0u64, |a, h| a ^ h)
+        })
+    });
+    g.bench_function("hash_of_64B", |b| b.iter(|| RollingHash::hash_of(&p[..64])));
+    g.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let p = page(4);
+    let mut g = c.benchmark_group("fingerprint");
+    g.throughput(Throughput::Bytes(p.len() as u64));
+    for card in [5usize, 10, 20] {
+        let cfg = FingerprintConfig {
+            cardinality: card,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("page", card), &cfg, |b, cfg| {
+            b.iter(|| page_fingerprint(&p, cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_chunk_hash,
+    bench_rolling_scan,
+    bench_fingerprint
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end platform throughput: how fast the simulator chews through
+//! a small multi-function trace under each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medes_core::config::{PlatformConfig, PolicyKind};
+use medes_core::platform::Platform;
+use medes_sim::SimDuration;
+use medes_trace::{azure_like_trace, functionbench_suite, TraceGenConfig};
+
+fn bench_platform(c: &mut Criterion) {
+    let suite: Vec<_> = functionbench_suite().into_iter().take(4).collect();
+    let names: Vec<String> = suite.iter().map(|p| p.name.clone()).collect();
+    let trace = azure_like_trace(
+        &names,
+        &TraceGenConfig {
+            duration_secs: 120,
+            scale: 2.0,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let mut g = c.benchmark_group("platform_run");
+    g.sample_size(10);
+    let policies = [
+        (
+            "fixed_ka",
+            PolicyKind::FixedKeepAlive(SimDuration::from_mins(10)),
+        ),
+        ("adaptive_ka", PolicyKind::AdaptiveKeepAlive),
+        ("medes", PolicyKind::Medes(Default::default())),
+    ];
+    for (name, policy) in policies {
+        let mut cfg = PlatformConfig::small_test();
+        cfg.verify_restores = false;
+        cfg.policy = policy;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| Platform::new(cfg.clone(), suite.clone()).run(&trace));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_platform);
+criterion_main!(benches);

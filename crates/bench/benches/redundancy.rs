@@ -1,0 +1,25 @@
+//! Micro-benchmark for the §2.1 redundancy measurement (the analysis
+//! that motivates the whole system).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medes_mem::{redundancy, FunctionSpec, ImageBuilder};
+
+fn bench_redundancy(c: &mut Criterion) {
+    let builder = ImageBuilder::new(FunctionSpec::new("Bench", 16 << 20, &["json"])).with_scale(64);
+    let a = builder.build(1);
+    let b = builder.build(2);
+    let mut g = c.benchmark_group("redundancy");
+    g.throughput(Throughput::Bytes(
+        (a.total_bytes() + b.total_bytes()) as u64,
+    ));
+    g.sample_size(20);
+    for k in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| redundancy(&a, &b, k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_redundancy);
+criterion_main!(benches);

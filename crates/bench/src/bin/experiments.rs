@@ -1,0 +1,71 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <id>... [--quick] [--results <dir>]
+//! experiments all [--quick]
+//! experiments list
+//! ```
+
+use medes_bench::common::ExpConfig;
+use medes_bench::experiments;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut cfg = ExpConfig::full();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--results" => {
+                if let Some(dir) = it.next() {
+                    cfg.results_dir = PathBuf::from(dir);
+                }
+            }
+            "list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: experiments <id>... [--quick] [--results <dir>]\n       experiments all [--quick]\n       experiments list\nids: {}",
+            experiments::ALL.join(", ")
+        );
+        std::process::exit(2);
+    }
+    // fig11 is produced by the fig10 run; drop the duplicate when both
+    // were requested via `all`.
+    ids.dedup();
+    let mut seen_fig10 = false;
+    ids.retain(|id| {
+        if id == "fig10" || id == "fig11" {
+            if seen_fig10 {
+                return false;
+            }
+            seen_fig10 = true;
+        }
+        true
+    });
+
+    for id in &ids {
+        let t0 = Instant::now();
+        match experiments::run(id, &cfg) {
+            Some(report) => {
+                report.emit(&cfg.results_dir);
+                eprintln!("[{} finished in {:.1}s]\n", id, t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared experiment setup: standard workloads and configurations.
+
+use medes_core::config::{PlatformConfig, PolicyKind};
+use medes_core::metrics::RunReport;
+use medes_core::platform::Platform;
+use medes_policy::medes::Objective;
+use medes_policy::MedesPolicyConfig;
+use medes_sim::SimDuration;
+use medes_trace::{azure_like_trace, functionbench_suite, FunctionProfile, Trace, TraceGenConfig};
+use std::path::PathBuf;
+
+/// Experiment-suite configuration: sizes shrink under `--quick`.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Quick mode (CI/smoke): short traces, coarse scales.
+    pub quick: bool,
+    /// Where JSON results land.
+    pub results_dir: PathBuf,
+}
+
+impl ExpConfig {
+    /// Full-size experiments.
+    pub fn full() -> Self {
+        ExpConfig {
+            quick: false,
+            results_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Quick smoke-test sizes.
+    pub fn quick() -> Self {
+        ExpConfig {
+            quick: true,
+            results_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Trace duration for end-to-end runs: the paper uses one-hour
+    /// traces; quick mode uses 4 minutes.
+    pub fn trace_secs(&self) -> u64 {
+        if self.quick {
+            240
+        } else {
+            1800
+        }
+    }
+
+    /// Memory-image scale denominator for cluster runs.
+    pub fn mem_scale(&self) -> usize {
+        if self.quick {
+            512
+        } else {
+            128
+        }
+    }
+
+    /// Content scale for the byte-level measurement study (Fig 1).
+    pub fn study_scale(&self) -> usize {
+        if self.quick {
+            64
+        } else {
+            8
+        }
+    }
+
+    /// The full FunctionBench catalog.
+    pub fn suite(&self) -> Vec<FunctionProfile> {
+        functionbench_suite()
+    }
+
+    /// The §7.5 representative subset.
+    pub fn representative_suite(&self) -> Vec<FunctionProfile> {
+        functionbench_suite()
+            .into_iter()
+            .filter(|p| ["LinAlg", "FeatureGen", "ModelTrain"].contains(&p.name.as_str()))
+            .collect()
+    }
+
+    /// The §7.5 representative trace: the three-function subset with
+    /// burst gaps that straddle the keep-alive windows under test
+    /// (6 min / 12 min / periodic 8 min), driven hard enough to pressure
+    /// a small pool — the regime where keep-alive settings matter.
+    pub fn representative_trace(&self, suite: &[FunctionProfile]) -> Trace {
+        use medes_sim::{DetRng, SimTime};
+        use medes_trace::ArrivalPattern;
+        let names: Vec<String> = suite.iter().map(|p| p.name.clone()).collect();
+        let duration = SimTime::from_secs(self.trace_secs());
+        let mut rng = DetRng::new(0xBEEF);
+        let patterns = [
+            // LinAlg: intense bursts, 12-minute gaps.
+            ArrivalPattern::Bursty {
+                rate_per_min: 960.0,
+                on_secs: 60.0,
+                off_secs: 720.0,
+            },
+            // FeatureGen: medium bursts, ~6-minute gaps.
+            ArrivalPattern::Bursty {
+                rate_per_min: 240.0,
+                on_secs: 90.0,
+                off_secs: 380.0,
+            },
+            // ModelTrain: timer-triggered every 8 minutes.
+            ArrivalPattern::Periodic {
+                interval_secs: 480.0,
+                jitter_frac: 0.1,
+            },
+        ];
+        let arrivals: Vec<_> = names
+            .iter()
+            .enumerate()
+            .map(|(i, _)| patterns[i % patterns.len()].generate(&mut rng, duration))
+            .collect();
+        Trace::from_arrivals(names, arrivals, duration)
+    }
+
+    /// The standard full-benchmark trace (5× Azure-like, §7.1).
+    pub fn full_trace(&self, suite: &[FunctionProfile]) -> Trace {
+        let names: Vec<String> = suite.iter().map(|p| p.name.clone()).collect();
+        azure_like_trace(
+            &names,
+            &TraceGenConfig {
+                duration_secs: self.trace_secs(),
+                scale: 5.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// The standard platform configuration (§7.1 testbed), adapted to
+    /// the experiment scale. The per-node limit is chosen so the cluster
+    /// is *oversubscribed* by the standard trace, exactly as the paper
+    /// does with its 2 GB/node software limit (§7.2).
+    pub fn platform(&self) -> PlatformConfig {
+        let mut cfg = PlatformConfig::paper_default();
+        cfg.mem_scale = self.mem_scale();
+        cfg.node_mem_bytes = 192 << 20;
+        cfg.nodes = 12; // 12 x 192 MiB: demand-saturated, like the paper's 2 GB limit
+        if self.quick {
+            cfg.nodes = 6;
+        }
+        cfg
+    }
+
+    /// A Medes policy config with the standard knobs.
+    pub fn medes_policy(&self, objective: Objective) -> MedesPolicyConfig {
+        MedesPolicyConfig {
+            objective,
+            idle_period: SimDuration::from_secs(15),
+            // Dedup sandboxes cost a fraction of a warm one, so they are
+            // retained longer than the keep-alive window — that is the
+            // point of the cheaper state (the Fig 15 sweep tunes this).
+            keep_dedup: SimDuration::from_mins(15),
+            keep_alive: SimDuration::from_mins(10),
+            base_threshold: 40,
+        }
+    }
+}
+
+/// Runs one platform configuration over a trace.
+pub fn run(cfg: PlatformConfig, suite: &[FunctionProfile], trace: &Trace) -> RunReport {
+    Platform::new(cfg, suite.to_vec()).run(trace)
+}
+
+/// Runs the three §7.2 policies over the same trace.
+pub fn run_three(
+    base: &PlatformConfig,
+    suite: &[FunctionProfile],
+    trace: &Trace,
+    medes_policy: MedesPolicyConfig,
+) -> (RunReport, RunReport, RunReport) {
+    let medes = run(
+        base.clone().with_policy(PolicyKind::Medes(medes_policy)),
+        suite,
+        trace,
+    );
+    let fixed = run(
+        base.clone()
+            .with_policy(PolicyKind::FixedKeepAlive(SimDuration::from_mins(10))),
+        suite,
+        trace,
+    );
+    let adaptive = run(
+        base.clone().with_policy(PolicyKind::AdaptiveKeepAlive),
+        suite,
+        trace,
+    );
+    (medes, fixed, adaptive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let q = ExpConfig::quick();
+        let f = ExpConfig::full();
+        assert!(q.trace_secs() < f.trace_secs());
+        assert!(q.mem_scale() > f.mem_scale());
+        assert_eq!(q.representative_suite().len(), 3);
+        assert_eq!(q.suite().len(), 10);
+    }
+
+    #[test]
+    fn traces_generate() {
+        let c = ExpConfig::quick();
+        let suite = c.suite();
+        let t = c.full_trace(&suite);
+        assert!(!t.is_empty());
+        assert_eq!(t.functions.len(), 10);
+    }
+}

@@ -1,0 +1,65 @@
+//! One module per paper artifact (table/figure). See `DESIGN.md` for
+//! the experiment index.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig2;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod overheads;
+pub mod table2;
+pub mod table3;
+
+use crate::common::ExpConfig;
+use crate::report::Report;
+
+/// All experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig2",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table3",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "overheads",
+];
+
+/// Dispatches one experiment by id.
+pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
+    let report = match id {
+        "fig1a" => fig1::run_fig1a(cfg),
+        "fig1b" => fig1::run_fig1b(cfg),
+        "fig1c" => fig1::run_fig1c(cfg),
+        "fig2" => fig2::run(cfg),
+        "table2" => table2::run(cfg),
+        "fig7" | "fig7a" | "fig7b" => fig7::run(cfg),
+        "fig8" => fig8::run(cfg),
+        "fig9" | "fig9a" | "fig9b" => fig9::run(cfg),
+        "table3" => table3::run(cfg),
+        "fig10" | "fig11" => fig10::run(cfg),
+        "fig12" => fig12::run(cfg),
+        "fig13" => fig13::run(cfg),
+        "fig14" => fig14::run(cfg),
+        "fig15" => fig15::run(cfg),
+        "fig16" => fig16::run(cfg),
+        "overheads" => overheads::run(cfg),
+        _ => return None,
+    };
+    Some(report)
+}

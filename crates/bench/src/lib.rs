@@ -1,0 +1,28 @@
+//! # medes-bench — the experiment harness
+//!
+//! One experiment per table and figure in the paper's evaluation
+//! (§2 and §7). Run them with:
+//!
+//! ```text
+//! cargo run --release -p medes-bench --bin experiments -- <id> [--quick]
+//! cargo run --release -p medes-bench --bin experiments -- all
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports, next
+//! to the paper's reference values, and appends a machine-readable JSON
+//! record to `results/<id>.json`. The `--quick` flag shrinks workloads
+//! for smoke testing (used by the integration tests).
+//!
+//! Criterion micro-benchmarks (`cargo bench -p medes-bench`) cover the
+//! hot primitives: SHA-1, rolling scans, value sampling, delta
+//! encode/apply, registry lookups, and the dedup/restore ops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod experiments;
+pub mod report;
+
+pub use common::ExpConfig;
+pub use report::Report;

@@ -1,0 +1,128 @@
+//! Plain-text tables + JSON output for experiments.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A lightweight experiment report: titled sections of aligned tables,
+/// plus a JSON value mirrored to disk.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Experiment id (`fig7a`, `table3`, ...).
+    pub id: String,
+    text: String,
+    json: serde_json::Value,
+}
+
+impl Report {
+    /// Creates a report for an experiment id.
+    pub fn new(id: &str, title: &str) -> Self {
+        let mut r = Report {
+            id: id.to_string(),
+            text: String::new(),
+            json: serde_json::json!({ "id": id, "title": title }),
+        };
+        let bar = "=".repeat(72);
+        let _ = writeln!(r.text, "{bar}\n{id}: {title}\n{bar}");
+        r
+    }
+
+    /// Adds a free-form line.
+    pub fn line(&mut self, s: &str) {
+        let _ = writeln!(self.text, "{s}");
+    }
+
+    /// Adds a section heading.
+    pub fn section(&mut self, s: &str) {
+        let _ = writeln!(self.text, "\n--- {s} ---");
+    }
+
+    /// Adds an aligned table: `header` then `rows` (column widths are
+    /// computed from content).
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let cols = header.len();
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut line = String::new();
+        for (i, h) in header.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+        }
+        let _ = writeln!(self.text, "{}", line.trim_end());
+        let _ = writeln!(self.text, "{}", "-".repeat(line.trim_end().len()));
+        for row in rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+            }
+            let _ = writeln!(self.text, "{}", line.trim_end());
+        }
+    }
+
+    /// Attaches a JSON field to the report record.
+    pub fn json_set(&mut self, key: &str, value: serde_json::Value) {
+        self.json[key] = value;
+    }
+
+    /// The rendered text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Prints to stdout and writes `results/<id>.json`.
+    pub fn emit(&self, results_dir: &Path) {
+        println!("{}", self.text);
+        if std::fs::create_dir_all(results_dir).is_ok() {
+            let path = results_dir.join(format!("{}.json", self.id));
+            if let Ok(s) = serde_json::to_string_pretty(&self.json) {
+                let _ = std::fs::write(path, s);
+            }
+        }
+    }
+}
+
+/// Formats a float with `prec` decimals.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats bytes as MiB with 1 decimal.
+pub fn mib(bytes: f64) -> String {
+    format!("{:.1}", bytes / (1u64 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut r = Report::new("t", "test");
+        r.table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2.5".into()],
+            ],
+        );
+        let text = r.text();
+        assert!(text.contains("longer-name"));
+        assert!(text.contains("name"));
+    }
+
+    #[test]
+    fn json_fields_accumulate() {
+        let mut r = Report::new("x", "t");
+        r.json_set("k", serde_json::json!([1, 2, 3]));
+        assert_eq!(r.json["k"][1], 2);
+        assert_eq!(r.json["id"], "x");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(mib(3.0 * 1048576.0), "3.0");
+    }
+}

@@ -1,0 +1,133 @@
+//! The dedup agent's in-memory checkpoint store.
+//!
+//! Medes keeps base-sandbox checkpoints in memory so restores never
+//! touch disk. The store accounts its resident bytes, which the
+//! platform reports as agent overhead (the paper keeps this below 10 %
+//! of node memory, §7.7).
+
+use crate::image::CheckpointImage;
+use std::collections::HashMap;
+
+/// Key type: the platform uses its sandbox ids.
+pub type StoreKey = u64;
+
+/// In-memory checkpoint image store with byte accounting.
+#[derive(Debug, Default)]
+pub struct ImageStore {
+    images: HashMap<StoreKey, CheckpointImage>,
+    resident_bytes: usize,
+}
+
+impl ImageStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a checkpoint. Returns the previous image if
+    /// one was stored under the key.
+    pub fn insert(&mut self, key: StoreKey, image: CheckpointImage) -> Option<CheckpointImage> {
+        self.resident_bytes += image.total_bytes();
+        let prev = self.images.insert(key, image);
+        if let Some(p) = &prev {
+            self.resident_bytes -= p.total_bytes();
+        }
+        prev
+    }
+
+    /// Borrows a stored checkpoint.
+    pub fn get(&self, key: StoreKey) -> Option<&CheckpointImage> {
+        self.images.get(&key)
+    }
+
+    /// Mutably borrows a stored checkpoint.
+    pub fn get_mut(&mut self, key: StoreKey) -> Option<&mut CheckpointImage> {
+        self.images.get_mut(&key)
+    }
+
+    /// Removes a checkpoint, returning it.
+    pub fn remove(&mut self, key: StoreKey) -> Option<CheckpointImage> {
+        let img = self.images.remove(&key);
+        if let Some(i) = &img {
+            self.resident_bytes -= i.total_bytes();
+        }
+        img
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Bytes currently resident in the store.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ProcessSpec;
+    use medes_mem::{FunctionSpec, ImageBuilder};
+
+    fn ckpt(instance: u64) -> CheckpointImage {
+        let img = ImageBuilder::new(FunctionSpec::new("StoreFn", 8 << 20, &[]))
+            .with_scale(32)
+            .build(instance);
+        CheckpointImage::from_image(&img, ProcessSpec::default())
+    }
+
+    #[test]
+    fn accounting_tracks_inserts_and_removes() {
+        let mut store = ImageStore::new();
+        assert!(store.is_empty());
+        let c1 = ckpt(1);
+        let bytes1 = c1.total_bytes();
+        store.insert(1, c1);
+        assert_eq!(store.resident_bytes(), bytes1);
+        let c2 = ckpt(2);
+        let bytes2 = c2.total_bytes();
+        store.insert(2, c2);
+        assert_eq!(store.resident_bytes(), bytes1 + bytes2);
+        store.remove(1);
+        assert_eq!(store.resident_bytes(), bytes2);
+        assert_eq!(store.len(), 1);
+        store.remove(2);
+        assert_eq!(store.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn replace_does_not_leak_accounting() {
+        let mut store = ImageStore::new();
+        store.insert(7, ckpt(1));
+        let before = store.resident_bytes();
+        let prev = store.insert(7, ckpt(2));
+        assert!(prev.is_some());
+        assert_eq!(store.resident_bytes(), before);
+    }
+
+    #[test]
+    fn get_and_get_mut() {
+        let mut store = ImageStore::new();
+        store.insert(3, ckpt(3));
+        assert!(store.get(3).is_some());
+        assert!(store.get(4).is_none());
+        let pages = store.get(3).unwrap().page_count();
+        let page0 = vec![0u8; medes_mem::PAGE_SIZE];
+        store.get_mut(3).unwrap().set_page(0, page0);
+        assert_eq!(store.get(3).unwrap().page_count(), pages);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut store = ImageStore::new();
+        assert!(store.remove(99).is_none());
+        assert_eq!(store.resident_bytes(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Platform configuration.
+
+use medes_ckpt::TimingModel;
+use medes_hash::sample::FingerprintConfig;
+use medes_mem::{AslrConfig, ContentModel};
+use medes_net::NetConfig;
+use medes_policy::MedesPolicyConfig;
+use medes_sim::SimDuration;
+
+/// Which sandbox-management policy the platform runs.
+#[derive(Debug, Clone)]
+pub enum PolicyKind {
+    /// Fixed keep-alive baseline (AWS Lambda-style); no dedup state.
+    FixedKeepAlive(SimDuration),
+    /// Adaptive (hybrid-histogram) keep-alive baseline; no dedup state.
+    AdaptiveKeepAlive,
+    /// The Medes policy: warm + dedup states, §5 optimizer.
+    Medes(MedesPolicyConfig),
+}
+
+/// Full platform configuration. [`PlatformConfig::paper_default`]
+/// mirrors the evaluation testbed (§7.1): 19 worker nodes, a 2 GB
+/// software memory limit per node, 64 B chunks, 5-chunk fingerprints,
+/// T = 40, Xdelta level 1.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Number of worker nodes (the controller is separate, as in §7.1).
+    pub nodes: usize,
+    /// Paper-scale memory limit per node, bytes.
+    pub node_mem_bytes: usize,
+    /// Memory-image scale denominator: model bytes = paper bytes / this.
+    pub mem_scale: usize,
+    /// Value-sampled fingerprint configuration (chunk size, cardinality).
+    pub fingerprint: FingerprintConfig,
+    /// Xdelta-style compression level for page patches.
+    pub delta_level: u8,
+    /// Keep a patch only if it is smaller than this fraction of a page.
+    pub patch_max_frac: f64,
+    /// The sandbox-management policy.
+    pub policy: PolicyKind,
+    /// Synthetic memory content model.
+    pub content: ContentModel,
+    /// ASLR model.
+    pub aslr: AslrConfig,
+    /// Cluster fabric cost model.
+    pub net: NetConfig,
+    /// Checkpoint/restore timing model.
+    pub ckpt: TimingModel,
+    /// Controller-side registry lookup cost per (paper-scale) page —
+    /// ~80 µs in the paper's single-threaded controller (§7.7).
+    pub lookup_per_page: SimDuration,
+    /// Patch computation cost per (paper-scale) page during dedup.
+    pub patch_compute_per_page: SimDuration,
+    /// Patch application cost per (paper-scale) page during restore.
+    pub patch_apply_per_page: SimDuration,
+    /// Emulated-Catalyzer mode (§7.6): cold starts become snapshot
+    /// restores.
+    pub catalyzer_mode: bool,
+    /// Snapshot-restore latency used in Catalyzer mode.
+    pub catalyzer_restore: SimDuration,
+    /// How often the controller re-solves policy targets.
+    pub policy_tick: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Verify every restore byte-for-byte against the regenerated image
+    /// (slow; enabled in tests).
+    pub verify_restores: bool,
+}
+
+impl PlatformConfig {
+    /// The evaluation-testbed configuration (§7.1): 19 workers with a
+    /// 2 GB software memory limit each, Medes policy P1 (α = 2.5).
+    pub fn paper_default() -> Self {
+        PlatformConfig {
+            nodes: 19,
+            node_mem_bytes: 2 << 30,
+            mem_scale: 64,
+            fingerprint: FingerprintConfig::default(),
+            delta_level: 1,
+            patch_max_frac: 0.9,
+            policy: PolicyKind::Medes(MedesPolicyConfig::default()),
+            content: ContentModel::default(),
+            aslr: AslrConfig::DISABLED,
+            net: NetConfig::default(),
+            ckpt: TimingModel::default(),
+            lookup_per_page: SimDuration::from_micros(80),
+            patch_compute_per_page: SimDuration::from_micros(40),
+            patch_apply_per_page: SimDuration::from_micros(8),
+            catalyzer_mode: false,
+            catalyzer_restore: SimDuration::from_millis(150),
+            policy_tick: SimDuration::from_secs(10),
+            seed: 0xC0FFEE,
+            verify_restores: false,
+        }
+    }
+
+    /// A small fast configuration for unit/integration tests: 4 nodes,
+    /// aggressive memory scale, restore verification on.
+    pub fn small_test() -> Self {
+        PlatformConfig {
+            nodes: 4,
+            node_mem_bytes: 1 << 30,
+            mem_scale: 256,
+            verify_restores: true,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Same configuration but running a baseline policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Converts model-scale bytes to paper-scale bytes.
+    pub fn to_paper_bytes(&self, model_bytes: usize) -> usize {
+        model_bytes * self.mem_scale
+    }
+
+    /// True when the dedup state is enabled (Medes policy).
+    pub fn is_medes(&self) -> bool {
+        matches!(self.policy, PolicyKind::Medes(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_testbed() {
+        let c = PlatformConfig::paper_default();
+        assert_eq!(c.nodes, 19);
+        assert_eq!(c.node_mem_bytes, 2 << 30);
+        assert_eq!(c.fingerprint.chunk_size, 64);
+        assert_eq!(c.fingerprint.cardinality, 5);
+        assert_eq!(c.delta_level, 1);
+        assert!(c.is_medes());
+        if let PolicyKind::Medes(m) = &c.policy {
+            assert_eq!(m.base_threshold, 40);
+        }
+    }
+
+    #[test]
+    fn scale_conversion() {
+        let c = PlatformConfig::paper_default();
+        assert_eq!(c.to_paper_bytes(1 << 20), 64 << 20);
+    }
+
+    #[test]
+    fn policy_swap() {
+        let c = PlatformConfig::paper_default()
+            .with_policy(PolicyKind::FixedKeepAlive(SimDuration::from_mins(10)));
+        assert!(!c.is_medes());
+    }
+}

@@ -1,0 +1,225 @@
+//! Controller-side per-function runtime state.
+//!
+//! The controller tracks, per function: live sandbox counts by state,
+//! idle pools (MRU-ordered), base sandboxes, arrival-rate estimates, and
+//! EWMA estimates of the quantities the §5 optimizer needs (dedup start
+//! latency, dedup footprint, restore overhead). Targets produced by the
+//! policy solver are cached here between policy ticks.
+
+use crate::ids::SandboxId;
+use medes_policy::medes::{Decision, FunctionState};
+use medes_sim::{SimDuration, SimTime};
+use medes_trace::FunctionProfile;
+use std::collections::{BTreeSet, VecDeque};
+
+/// EWMA smoothing factor for measured quantities.
+const EWMA_ALPHA: f64 = 0.2;
+/// Arrival-rate window: number of policy ticks whose maximum defines
+/// λ_max. Five minutes of 10 s ticks: a burst keeps λ_max (and with it
+/// the aggressive-dedup phase, §5.2.3) alive well past its end, which is
+/// what converts post-burst idle pools into dedup sandboxes.
+const RATE_WINDOW_TICKS: usize = 12;
+
+/// A queued request waiting for capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedRequest {
+    /// Trace request id.
+    pub id: u64,
+    /// Arrival time (queue wait counts into the end-to-end latency).
+    pub arrival: SimTime,
+}
+
+/// Per-function controller state.
+#[derive(Debug)]
+pub struct FunctionRuntime {
+    /// The function's profile.
+    pub profile: FunctionProfile,
+    /// Idle warm sandboxes, ordered by `(last_used, id)` — the scheduler
+    /// pops the most recently used.
+    pub idle_warm: BTreeSet<(SimTime, SandboxId)>,
+    /// Idle dedup sandboxes, same ordering.
+    pub idle_dedup: BTreeSet<(SimTime, SandboxId)>,
+    /// All live sandboxes of this function (any state): the optimizer's
+    /// `C`.
+    pub total_sandboxes: u32,
+    /// Live sandboxes currently in the dedup state (or restoring).
+    pub dedup_total: u32,
+    /// Base sandboxes of this function.
+    pub bases: Vec<SandboxId>,
+    /// Arrivals since the last policy tick.
+    pub arrivals_this_tick: u32,
+    /// Per-tick arrival counts (bounded window).
+    tick_history: VecDeque<u32>,
+    /// EWMA of measured dedup-start latency, µs.
+    pub dedup_start_ewma_us: f64,
+    /// EWMA of measured dedup footprint, paper-scale bytes.
+    pub mem_dedup_ewma: f64,
+    /// EWMA of measured restore read overhead, paper-scale bytes.
+    pub mem_restore_ewma: f64,
+    /// Latest policy targets.
+    pub target: Decision,
+    /// Requests waiting for capacity.
+    pub wait_queue: VecDeque<QueuedRequest>,
+    /// Whether a RetryQueue timer is outstanding for this function
+    /// (exactly one retry chain per function, never more).
+    pub retry_armed: bool,
+}
+
+impl FunctionRuntime {
+    /// Creates fresh state for a function.
+    pub fn new(profile: FunctionProfile) -> Self {
+        // Initial estimates before any measurement: dedup start ≈ 300 ms,
+        // dedup footprint ≈ 50 % of warm, restore reads ≈ 30 % of warm.
+        let mem = profile.memory_bytes as f64;
+        FunctionRuntime {
+            profile,
+            idle_warm: BTreeSet::new(),
+            idle_dedup: BTreeSet::new(),
+            total_sandboxes: 0,
+            dedup_total: 0,
+            bases: Vec::new(),
+            arrivals_this_tick: 0,
+            tick_history: VecDeque::new(),
+            dedup_start_ewma_us: 300_000.0,
+            mem_dedup_ewma: mem * 0.5,
+            mem_restore_ewma: mem * 0.3,
+            target: Decision {
+                target_warm: 0,
+                target_dedup: 0,
+                feasible: true,
+            },
+            wait_queue: VecDeque::new(),
+            retry_armed: false,
+        }
+    }
+
+    /// Records a request arrival (rate estimation).
+    pub fn on_arrival(&mut self) {
+        self.arrivals_this_tick += 1;
+    }
+
+    /// Rolls the arrival window at a policy tick.
+    pub fn roll_tick(&mut self) {
+        self.tick_history.push_back(self.arrivals_this_tick);
+        self.arrivals_this_tick = 0;
+        while self.tick_history.len() > RATE_WINDOW_TICKS {
+            self.tick_history.pop_front();
+        }
+    }
+
+    /// Peak arrival rate (requests/second) over the recent window.
+    pub fn lambda_max(&self, tick: SimDuration) -> f64 {
+        let secs = tick.as_secs_f64().max(1e-9);
+        let peak = self
+            .tick_history
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.arrivals_this_tick))
+            .max()
+            .unwrap_or(0);
+        peak as f64 / secs
+    }
+
+    /// Folds a measured dedup-start latency into the estimate.
+    pub fn record_dedup_start(&mut self, latency: SimDuration) {
+        self.dedup_start_ewma_us =
+            EWMA_ALPHA * latency.as_micros() as f64 + (1.0 - EWMA_ALPHA) * self.dedup_start_ewma_us;
+    }
+
+    /// Folds a measured dedup footprint (paper bytes) into the estimate.
+    pub fn record_dedup_footprint(&mut self, paper_bytes: usize) {
+        self.mem_dedup_ewma =
+            EWMA_ALPHA * paper_bytes as f64 + (1.0 - EWMA_ALPHA) * self.mem_dedup_ewma;
+    }
+
+    /// Folds a measured restore read volume (paper bytes) into `m_R`.
+    pub fn record_restore_reads(&mut self, paper_bytes: usize) {
+        self.mem_restore_ewma =
+            EWMA_ALPHA * paper_bytes as f64 + (1.0 - EWMA_ALPHA) * self.mem_restore_ewma;
+    }
+
+    /// Builds the optimizer input from current estimates.
+    pub fn function_state(&self, tick: SimDuration) -> FunctionState {
+        FunctionState {
+            arrival_rate: self.lambda_max(tick),
+            exec_time: self.profile.exec_time(),
+            warm_start: self.profile.warm_start(),
+            dedup_start: SimDuration::from_micros(self.dedup_start_ewma_us as u64),
+            mem_warm: self.profile.memory_bytes as f64,
+            mem_dedup: self.mem_dedup_ewma,
+            mem_restore: self.mem_restore_ewma,
+            sandboxes: self.total_sandboxes,
+        }
+    }
+
+    /// Whether one more base sandbox should be demarcated: `D/B > T`, or
+    /// no base exists yet (§4.1.3).
+    pub fn needs_base(&self, threshold: u32) -> bool {
+        if self.bases.is_empty() {
+            return true;
+        }
+        self.dedup_total as f64 / self.bases.len() as f64 > threshold as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medes_trace::functionbench_suite;
+
+    fn runtime() -> FunctionRuntime {
+        FunctionRuntime::new(functionbench_suite()[0].clone())
+    }
+
+    #[test]
+    fn lambda_max_tracks_peak_tick() {
+        let mut rt = runtime();
+        let tick = SimDuration::from_secs(10);
+        for n in [5u32, 50, 10] {
+            rt.arrivals_this_tick = n;
+            rt.roll_tick();
+        }
+        assert!((rt.lambda_max(tick) - 5.0).abs() < 1e-9, "50 per 10s tick");
+        // Window bounded: old peaks age out.
+        for _ in 0..RATE_WINDOW_TICKS {
+            rt.roll_tick();
+        }
+        assert_eq!(rt.lambda_max(tick), 0.0);
+    }
+
+    #[test]
+    fn ewma_estimates_move_toward_measurements() {
+        let mut rt = runtime();
+        let before = rt.dedup_start_ewma_us;
+        rt.record_dedup_start(SimDuration::from_millis(150));
+        assert!(rt.dedup_start_ewma_us < before);
+        let mem_before = rt.mem_dedup_ewma;
+        rt.record_dedup_footprint(1 << 20);
+        assert!(rt.mem_dedup_ewma < mem_before);
+        let mr_before = rt.mem_restore_ewma;
+        rt.record_restore_reads(1 << 20);
+        assert!(rt.mem_restore_ewma < mr_before);
+    }
+
+    #[test]
+    fn base_demarcation_rule() {
+        let mut rt = runtime();
+        assert!(rt.needs_base(40), "no base yet: must demarcate");
+        rt.bases.push(SandboxId(1));
+        rt.dedup_total = 40;
+        assert!(!rt.needs_base(40), "D/B = 40 is not > 40");
+        rt.dedup_total = 41;
+        assert!(rt.needs_base(40), "D/B = 41 > 40");
+        rt.bases.push(SandboxId(2));
+        assert!(!rt.needs_base(40), "second base resets the ratio");
+    }
+
+    #[test]
+    fn function_state_reflects_profile() {
+        let rt = runtime();
+        let s = rt.function_state(SimDuration::from_secs(10));
+        assert_eq!(s.mem_warm, rt.profile.memory_bytes as f64);
+        assert_eq!(s.sandboxes, 0);
+        assert!(s.dedup_start > s.warm_start);
+    }
+}

@@ -1,0 +1,55 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+/// A sandbox instance id, unique for the lifetime of a platform run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SandboxId(pub u64);
+
+/// A worker-node index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// A function index into the platform's function table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FnId(pub usize);
+
+impl fmt::Display for SandboxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sb{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for FnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SandboxId(3).to_string(), "sb3");
+        assert_eq!(NodeId(1).to_string(), "n1");
+        assert_eq!(FnId(9).to_string(), "f9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(SandboxId(1));
+        s.insert(SandboxId(1));
+        assert_eq!(s.len(), 1);
+        assert!(SandboxId(1) < SandboxId(2));
+    }
+}

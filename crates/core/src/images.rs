@@ -1,0 +1,130 @@
+//! The image factory: deterministic regeneration + caching.
+//!
+//! Sandbox memory images are pure functions of `(function, instance
+//! seed)`, so the platform holds real bytes only where the system
+//! semantically requires residency: **base sandbox images** (pinned, the
+//! registry points into them) are cached here; everything else is
+//! regenerated on demand.
+
+use crate::ids::FnId;
+use medes_mem::{AslrConfig, ContentModel, FunctionSpec, ImageBuilder, MemoryImage};
+use medes_trace::FunctionProfile;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builds and caches sandbox memory images.
+#[derive(Debug)]
+pub struct ImageFactory {
+    builders: Vec<ImageBuilder>,
+    /// Pinned images (base sandboxes): key = (function, instance seed).
+    pinned: HashMap<(usize, u64), Arc<MemoryImage>>,
+}
+
+impl ImageFactory {
+    /// Creates a factory for the given function profiles.
+    pub fn new(
+        profiles: &[FunctionProfile],
+        model: ContentModel,
+        aslr: AslrConfig,
+        mem_scale: usize,
+    ) -> Self {
+        let builders = profiles
+            .iter()
+            .map(|p| {
+                let libs: Vec<&str> = p.libs.iter().map(|s| s.as_str()).collect();
+                let spec = FunctionSpec::new(&p.name, p.memory_bytes, &libs);
+                ImageBuilder::new(spec)
+                    .with_model(model.clone())
+                    .with_aslr(aslr)
+                    .with_scale(mem_scale)
+            })
+            .collect();
+        ImageFactory {
+            builders,
+            pinned: HashMap::new(),
+        }
+    }
+
+    /// Number of functions.
+    pub fn functions(&self) -> usize {
+        self.builders.len()
+    }
+
+    /// Generates (or fetches, if pinned) the image for a sandbox.
+    pub fn image(&self, func: FnId, instance_seed: u64) -> Arc<MemoryImage> {
+        if let Some(img) = self.pinned.get(&(func.0, instance_seed)) {
+            return Arc::clone(img);
+        }
+        Arc::new(self.builders[func.0].build(instance_seed))
+    }
+
+    /// Model-scale page count of a function's image (layout jitter keeps
+    /// the page count constant, so any instance is representative).
+    pub fn model_pages(&self, func: FnId) -> usize {
+        // Sizes depend only on the spec, not the instance.
+        self.builders[func.0].build(0).page_count()
+    }
+
+    /// Pins a base sandbox's image so the registry can reference its
+    /// pages without regeneration cost.
+    pub fn pin(&mut self, func: FnId, instance_seed: u64) -> Arc<MemoryImage> {
+        let img = self.image(func, instance_seed);
+        self.pinned
+            .insert((func.0, instance_seed), Arc::clone(&img));
+        img
+    }
+
+    /// Unpins a base sandbox's image.
+    pub fn unpin(&mut self, func: FnId, instance_seed: u64) {
+        self.pinned.remove(&(func.0, instance_seed));
+    }
+
+    /// Currently pinned images (≈ base sandboxes alive).
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medes_trace::functionbench_suite;
+
+    fn factory() -> ImageFactory {
+        ImageFactory::new(
+            &functionbench_suite()[..3],
+            ContentModel::default(),
+            AslrConfig::DISABLED,
+            256,
+        )
+    }
+
+    #[test]
+    fn images_are_deterministic() {
+        let f = factory();
+        let a = f.image(FnId(0), 7);
+        let b = f.image(FnId(0), 7);
+        assert_eq!(a.page_count(), b.page_count());
+        assert_eq!(a.page(0), b.page(0));
+    }
+
+    #[test]
+    fn pinning_caches() {
+        let mut f = factory();
+        assert_eq!(f.pinned_count(), 0);
+        let img = f.pin(FnId(1), 3);
+        assert_eq!(f.pinned_count(), 1);
+        let again = f.image(FnId(1), 3);
+        assert!(Arc::ptr_eq(&img, &again), "pinned image must be shared");
+        f.unpin(FnId(1), 3);
+        assert_eq!(f.pinned_count(), 0);
+    }
+
+    #[test]
+    fn page_counts_track_function_size() {
+        let f = factory();
+        // Vanilla (17MB) < LinAlg (32MB).
+        assert!(f.model_pages(FnId(0)) < f.model_pages(FnId(1)));
+        assert_eq!(f.functions(), 3);
+    }
+}

@@ -1,0 +1,337 @@
+//! Run metrics: everything the paper's tables and figures need.
+
+use medes_sim::stats::Percentiles;
+use medes_sim::{SimDuration, SimTime};
+
+/// How a request's sandbox was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartType {
+    /// Reused an idle warm sandbox.
+    Warm,
+    /// Restored a dedup sandbox (a "dedup start").
+    Dedup,
+    /// Spawned a new sandbox (a cold start; in Catalyzer mode this is a
+    /// snapshot restore, still counted as a cold start per §7.6).
+    Cold,
+}
+
+/// One completed request.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestRecord {
+    /// Trace request id (stable across policies for paired comparison).
+    pub id: u64,
+    /// Function index.
+    pub func: usize,
+    /// Arrival time, µs.
+    pub arrival_us: u64,
+    /// Startup latency (queue wait + sandbox acquisition), µs.
+    pub startup_us: u64,
+    /// Execution time, µs.
+    pub exec_us: u64,
+    /// End-to-end latency (arrival → completion), µs.
+    pub e2e_us: u64,
+    /// How the sandbox was obtained.
+    pub start: StartType,
+}
+
+impl RequestRecord {
+    /// Function slowdown: end-to-end latency over pure execution time.
+    pub fn slowdown(&self) -> f64 {
+        self.e2e_us as f64 / self.exec_us.max(1) as f64
+    }
+}
+
+/// Per-function aggregate of dedup behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct FnDedupStats {
+    /// Dedup ops performed.
+    pub dedup_ops: u64,
+    /// Restores (dedup starts) performed.
+    pub restores: u64,
+    /// Mean paper-scale bytes saved per dedup op.
+    pub mean_saved_paper_bytes: f64,
+    /// Mean paper-scale resident footprint of a dedup sandbox.
+    pub mean_dedup_footprint: f64,
+    /// Mean dedup-op wall time, µs (the §7.7 overhead number).
+    pub mean_dedup_op_us: f64,
+    /// Mean restore breakdown, µs: (base read, page compute, ckpt).
+    pub mean_restore_us: (f64, f64, f64),
+    /// Mean patch size in bytes (model scale).
+    pub mean_patch_bytes: f64,
+}
+
+impl FnDedupStats {
+    /// Folds a value into a running mean given the previous count.
+    pub(crate) fn fold(mean: &mut f64, count: u64, value: f64) {
+        *mean += (value - *mean) / (count as f64);
+    }
+}
+
+/// The full output of one platform run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Function names (index-aligned with everything per-function).
+    pub functions: Vec<String>,
+    /// Every completed request.
+    pub requests: Vec<RequestRecord>,
+    /// Cluster memory usage samples `(time_us, paper_bytes)`.
+    pub mem_series: Vec<(u64, f64)>,
+    /// Time-weighted mean cluster memory (paper bytes).
+    pub mem_mean_bytes: f64,
+    /// Median of sampled cluster memory (paper bytes).
+    pub mem_median_bytes: f64,
+    /// Time-weighted mean number of live sandboxes.
+    pub mean_live_sandboxes: f64,
+    /// Sandboxes spawned over the run.
+    pub sandboxes_spawned: u64,
+    /// Sandboxes that went through the dedup state at least once.
+    pub sandboxes_deduped: u64,
+    /// Evictions under memory pressure.
+    pub evictions: u64,
+    /// Keep-alive / keep-dedup expirations.
+    pub expirations: u64,
+    /// Per-function dedup statistics.
+    pub dedup_stats: Vec<FnDedupStats>,
+    /// Pages deduplicated against same-function base pages.
+    pub same_fn_pages: u64,
+    /// Pages deduplicated against other functions' base pages.
+    pub cross_fn_pages: u64,
+    /// Final fingerprint-registry entries.
+    pub registry_entries: usize,
+    /// Peak fingerprint-registry entries over the run.
+    pub registry_peak_entries: usize,
+    /// Peak fingerprint-registry bytes over the run.
+    pub registry_peak_bytes: usize,
+    /// Final fingerprint-registry bytes (controller overhead, §7.7).
+    pub registry_bytes: usize,
+    /// Registry lookups served.
+    pub registry_lookups: u64,
+    /// RDMA bytes moved (restore + dedup reads).
+    pub rdma_bytes: u64,
+    /// Wall-clock-equivalent simulated duration of the run.
+    pub duration_us: u64,
+}
+
+impl RunReport {
+    /// Cold starts per function.
+    pub fn cold_starts(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.functions.len()];
+        for r in &self.requests {
+            if r.start == StartType::Cold {
+                v[r.func] += 1;
+            }
+        }
+        v
+    }
+
+    /// Total cold starts.
+    pub fn total_cold_starts(&self) -> u64 {
+        self.cold_starts().iter().sum()
+    }
+
+    /// Dedup starts per function.
+    pub fn dedup_starts(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.functions.len()];
+        for r in &self.requests {
+            if r.start == StartType::Dedup {
+                v[r.func] += 1;
+            }
+        }
+        v
+    }
+
+    /// The `q`-quantile of end-to-end latency for one function, in ms.
+    pub fn e2e_quantile_ms(&self, func: usize, q: f64) -> Option<f64> {
+        let mut p = Percentiles::new();
+        for r in self.requests.iter().filter(|r| r.func == func) {
+            p.record(r.e2e_us as f64 / 1e3);
+        }
+        p.quantile(q)
+    }
+
+    /// The `q`-quantile of end-to-end latency over all requests, ms.
+    pub fn e2e_quantile_all_ms(&self, q: f64) -> Option<f64> {
+        let mut p = Percentiles::new();
+        for r in &self.requests {
+            p.record(r.e2e_us as f64 / 1e3);
+        }
+        p.quantile(q)
+    }
+
+    /// Per-request improvement factors of `self` over `baseline`
+    /// (baseline e2e / this e2e), paired by request id. This is the
+    /// distribution Fig 7a plots.
+    pub fn improvement_factors(&self, baseline: &RunReport) -> Vec<f64> {
+        let mut base = std::collections::HashMap::with_capacity(baseline.requests.len());
+        for r in &baseline.requests {
+            base.insert(r.id, r.e2e_us);
+        }
+        self.requests
+            .iter()
+            .filter_map(|r| base.get(&r.id).map(|&b| b as f64 / r.e2e_us.max(1) as f64))
+            .collect()
+    }
+
+    /// CDF points of request slowdowns (Fig 16a).
+    pub fn slowdown_cdf(&self, points: usize) -> Vec<(f64, f64)> {
+        let mut p = Percentiles::new();
+        for r in &self.requests {
+            p.record(r.slowdown());
+        }
+        p.cdf(points)
+    }
+
+    /// Fraction of spawned sandboxes that were deduplicated at least
+    /// once (the paper reports ~39 % for Medes).
+    pub fn dedup_fraction(&self) -> f64 {
+        if self.sandboxes_spawned == 0 {
+            0.0
+        } else {
+            self.sandboxes_deduped as f64 / self.sandboxes_spawned as f64
+        }
+    }
+
+    /// Mean dedup-start latency per function, ms (Fig 8 input).
+    pub fn mean_restore_breakdown_ms(&self, func: usize) -> Option<(f64, f64, f64)> {
+        let s = self.dedup_stats.get(func)?;
+        if s.restores == 0 {
+            return None;
+        }
+        let (a, b, c) = s.mean_restore_us;
+        Some((a / 1e3, b / 1e3, c / 1e3))
+    }
+}
+
+/// Builder that the platform drives while the simulation runs.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    /// The report under construction.
+    pub report: RunReport,
+    mem: medes_sim::stats::TimeWeighted,
+    live: medes_sim::stats::TimeWeighted,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for the given functions.
+    pub fn new(functions: Vec<String>, mem_sample_every: SimDuration) -> Self {
+        let n = functions.len();
+        MetricsCollector {
+            report: RunReport {
+                functions,
+                dedup_stats: vec![FnDedupStats::default(); n],
+                ..Default::default()
+            },
+            mem: medes_sim::stats::TimeWeighted::new(mem_sample_every),
+            live: medes_sim::stats::TimeWeighted::new(mem_sample_every),
+        }
+    }
+
+    /// Records a cluster memory usage change (paper bytes).
+    pub fn mem_update(&mut self, now: SimTime, paper_bytes: f64) {
+        self.mem.update(now, paper_bytes);
+    }
+
+    /// Records a live-sandbox-count change.
+    pub fn live_update(&mut self, now: SimTime, count: f64) {
+        self.live.update(now, count);
+    }
+
+    /// Finalizes the report at `end`.
+    pub fn finish(mut self, end: SimTime) -> RunReport {
+        self.report.duration_us = end.as_micros();
+        self.report.mem_mean_bytes = self.mem.mean_until(end);
+        self.report.mem_median_bytes = self.mem.median().unwrap_or(0.0);
+        self.report.mean_live_sandboxes = self.live.mean_until(end);
+        self.report.mem_series = self
+            .mem
+            .series()
+            .iter()
+            .map(|&(t, v)| (t.as_micros(), v))
+            .collect();
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, func: usize, e2e_ms: u64, start: StartType) -> RequestRecord {
+        RequestRecord {
+            id,
+            func,
+            arrival_us: 0,
+            startup_us: 0,
+            exec_us: 100_000,
+            e2e_us: e2e_ms * 1000,
+            start,
+        }
+    }
+
+    #[test]
+    fn cold_start_counting() {
+        let mut r = RunReport {
+            functions: vec!["A".into(), "B".into()],
+            ..Default::default()
+        };
+        r.requests.push(record(0, 0, 500, StartType::Cold));
+        r.requests.push(record(1, 0, 10, StartType::Warm));
+        r.requests.push(record(2, 1, 600, StartType::Cold));
+        assert_eq!(r.cold_starts(), vec![1, 1]);
+        assert_eq!(r.total_cold_starts(), 2);
+        assert_eq!(r.dedup_starts(), vec![0, 0]);
+    }
+
+    #[test]
+    fn paired_improvement_factors() {
+        let mut medes = RunReport::default();
+        let mut base = RunReport::default();
+        medes.requests.push(record(0, 0, 100, StartType::Dedup));
+        base.requests.push(record(0, 0, 300, StartType::Cold));
+        medes.requests.push(record(1, 0, 100, StartType::Warm));
+        base.requests.push(record(1, 0, 100, StartType::Warm));
+        let f = medes.improvement_factors(&base);
+        assert_eq!(f.len(), 2);
+        assert!((f[0] - 3.0).abs() < 1e-9);
+        assert!((f[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_per_function() {
+        let mut r = RunReport {
+            functions: vec!["A".into()],
+            ..Default::default()
+        };
+        for i in 0..100 {
+            r.requests.push(record(i, 0, i + 1, StartType::Warm));
+        }
+        let p999 = r.e2e_quantile_ms(0, 0.999).unwrap();
+        assert!(p999 > 99.0);
+        assert!(r.e2e_quantile_ms(1, 0.5).is_none());
+        assert!(r.e2e_quantile_all_ms(0.5).is_some());
+    }
+
+    #[test]
+    fn slowdown_math() {
+        let rec = record(0, 0, 300, StartType::Cold); // exec 100ms, e2e 300ms
+        assert!((rec.slowdown() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collector_time_weighting() {
+        let mut c = MetricsCollector::new(vec!["A".into()], SimDuration::from_secs(1));
+        c.mem_update(SimTime::ZERO, 100.0);
+        c.mem_update(SimTime::from_secs(10), 200.0);
+        c.live_update(SimTime::ZERO, 1.0);
+        let r = c.finish(SimTime::from_secs(20));
+        assert!((r.mem_mean_bytes - 150.0).abs() < 1e-9);
+        assert!(!r.mem_series.is_empty());
+        assert_eq!(r.duration_us, 20_000_000);
+    }
+
+    #[test]
+    fn dedup_fraction_handles_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.dedup_fraction(), 0.0);
+    }
+}

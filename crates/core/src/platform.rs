@@ -1,0 +1,1047 @@
+//! The Medes platform: a discrete-event cluster simulation.
+//!
+//! [`Platform::run`] executes a [`Trace`] against a cluster of worker
+//! nodes under one of three policies (fixed keep-alive, adaptive
+//! keep-alive, Medes) and produces a [`RunReport`].
+//!
+//! ## Event flow
+//!
+//! * `Arrival` → dispatch: idle warm sandbox (warm start) → idle dedup
+//!   sandbox (restore, §4.2) → cold start (spawn; in Catalyzer mode a
+//!   snapshot restore) → wait queue when no memory can be freed.
+//! * `ExecDone` → sandbox goes warm; keep-alive / idle-period timers are
+//!   armed; queued requests drain.
+//! * `IdleCheck` (Medes) → consult the §5 policy targets; demarcate a
+//!   base sandbox if `D/B > T`, else run the dedup op (§4.1).
+//! * `KeepAliveExpire` / `KeepDedupExpire` → purge idle sandboxes.
+//! * `PolicyTick` → re-estimate per-function state, re-solve targets.
+//!
+//! Every timer event carries the sandbox's `epoch`; state transitions
+//! bump the epoch, so stale timers are ignored — the standard DES
+//! pattern for cancellable timeouts.
+
+use crate::config::{PlatformConfig, PolicyKind};
+use crate::controller::{FunctionRuntime, QueuedRequest};
+use crate::dedup::{dedup_op, index_base_sandbox, DedupOutcome};
+use crate::ids::{FnId, NodeId, SandboxId};
+use crate::images::ImageFactory;
+use crate::metrics::{FnDedupStats, MetricsCollector, RequestRecord, RunReport, StartType};
+use crate::registry::FingerprintRegistry;
+use crate::restore::restore_op;
+use crate::sandbox::{Sandbox, SandboxState};
+use medes_mem::MemoryImage;
+use medes_net::Fabric;
+use medes_policy::keepalive::KeepAlivePolicy;
+use medes_policy::medes::{solve, Objective};
+use medes_policy::{AdaptiveKeepAlive, FixedKeepAlive, MedesPolicyConfig};
+use medes_sim::engine::Scheduler;
+use medes_sim::{DetRng, SimDuration, SimTime, Simulation, World};
+use medes_trace::{FunctionProfile, Trace};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Retry cadence for requests parked in the wait queue.
+const QUEUE_RETRY: SimDuration = SimDuration::from_millis(100);
+/// A dedup op that saves less than this fraction of the image reverts
+/// the sandbox to warm (not worth the restore cost).
+const MIN_SAVING_FRAC: f64 = 0.05;
+
+/// The platform: configuration + function catalog.
+#[derive(Debug)]
+pub struct Platform {
+    cfg: PlatformConfig,
+    profiles: Vec<FunctionProfile>,
+}
+
+impl Platform {
+    /// Creates a platform.
+    pub fn new(cfg: PlatformConfig, profiles: Vec<FunctionProfile>) -> Self {
+        Platform { cfg, profiles }
+    }
+
+    /// Runs a trace to completion and reports metrics.
+    ///
+    /// # Panics
+    /// Panics if the trace's function table does not match the profile
+    /// catalog, or if any function's footprint exceeds the per-node
+    /// memory limit (such a function could never be scheduled and its
+    /// requests would retry forever).
+    pub fn run(&self, trace: &Trace) -> RunReport {
+        assert_eq!(
+            trace.functions.len(),
+            self.profiles.len(),
+            "trace function table must match the profile catalog"
+        );
+        for p in &self.profiles {
+            assert!(
+                p.memory_bytes <= self.cfg.node_mem_bytes,
+                "function {} needs {} bytes but nodes only have {}",
+                p.name,
+                p.memory_bytes,
+                self.cfg.node_mem_bytes
+            );
+        }
+        let horizon = trace.duration();
+        let mut cluster = Cluster::new(self.cfg.clone(), self.profiles.clone(), horizon);
+        let mut sim = Simulation::new(cluster);
+        for inv in &trace.invocations {
+            sim.schedule(
+                inv.time(),
+                Ev::Arrival {
+                    id: inv.id,
+                    func: inv.function,
+                },
+            );
+        }
+        if self.cfg.is_medes() {
+            sim.schedule(SimTime::ZERO, Ev::PolicyTick);
+        }
+        sim.run();
+        let end = sim.now();
+        cluster = sim.into_world();
+        cluster.finish(end)
+    }
+}
+
+/// A request travelling through dispatch.
+#[derive(Debug, Clone, Copy)]
+struct ReqInfo {
+    id: u64,
+    func: usize,
+    arrival: SimTime,
+}
+
+/// Platform events.
+enum Ev {
+    Arrival {
+        id: u64,
+        func: usize,
+    },
+    SpawnDone {
+        sb: SandboxId,
+        req: ReqInfo,
+    },
+    RestoreDone {
+        sb: SandboxId,
+        req: ReqInfo,
+        read_paper: usize,
+    },
+    ExecDone {
+        sb: SandboxId,
+        rec: RequestRecord,
+    },
+    IdleCheck {
+        sb: SandboxId,
+        epoch: u64,
+    },
+    KeepAliveExpire {
+        sb: SandboxId,
+        epoch: u64,
+    },
+    KeepDedupExpire {
+        sb: SandboxId,
+        epoch: u64,
+    },
+    DedupDone {
+        sb: SandboxId,
+        epoch: u64,
+        outcome: Box<DedupOutcome>,
+    },
+    PolicyTick,
+    RetryQueue {
+        func: usize,
+    },
+}
+
+/// Per-node accounting.
+#[derive(Debug, Default)]
+struct NodeState {
+    mem_used: usize,
+    sandboxes: BTreeSet<SandboxId>,
+}
+
+struct Cluster {
+    cfg: PlatformConfig,
+    factory: ImageFactory,
+    fabric: Fabric,
+    registry: FingerprintRegistry,
+    nodes: Vec<NodeState>,
+    sandboxes: HashMap<SandboxId, Sandbox>,
+    fns: Vec<FunctionRuntime>,
+    /// Base-sandbox resolver data: id → (function, pinned image).
+    bases: HashMap<SandboxId, (FnId, Arc<MemoryImage>)>,
+    fixed_ka: Option<FixedKeepAlive>,
+    adaptive_ka: Option<AdaptiveKeepAlive>,
+    medes: Option<MedesPolicyConfig>,
+    rng: DetRng,
+    next_sandbox: u64,
+    cluster_mem: usize,
+    metrics: MetricsCollector,
+    /// Don't re-arm periodic events past this instant.
+    horizon: SimTime,
+}
+
+impl Cluster {
+    fn new(cfg: PlatformConfig, profiles: Vec<FunctionProfile>, horizon: SimTime) -> Self {
+        let factory = ImageFactory::new(&profiles, cfg.content.clone(), cfg.aslr, cfg.mem_scale);
+        let fabric = Fabric::new(cfg.nodes, cfg.net.clone());
+        let names: Vec<String> = profiles.iter().map(|p| p.name.clone()).collect();
+        let metrics = MetricsCollector::new(names, SimDuration::from_secs(10));
+        let (fixed_ka, adaptive_ka, medes) = match &cfg.policy {
+            PolicyKind::FixedKeepAlive(d) => (Some(FixedKeepAlive::new(*d)), None, None),
+            PolicyKind::AdaptiveKeepAlive => (None, Some(AdaptiveKeepAlive::paper_default()), None),
+            PolicyKind::Medes(m) => (None, None, Some(m.clone())),
+        };
+        let rng = DetRng::new(cfg.seed);
+        Cluster {
+            nodes: (0..cfg.nodes).map(|_| NodeState::default()).collect(),
+            fns: profiles.into_iter().map(FunctionRuntime::new).collect(),
+            sandboxes: HashMap::new(),
+            bases: HashMap::new(),
+            fixed_ka,
+            adaptive_ka,
+            medes,
+            rng,
+            next_sandbox: 0,
+            cluster_mem: 0,
+            metrics,
+            horizon,
+            factory,
+            fabric,
+            registry: FingerprintRegistry::new(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory accounting.
+    // ------------------------------------------------------------------
+
+    fn charge(&mut self, now: SimTime, node: NodeId, delta: i64) {
+        let n = &mut self.nodes[node.0];
+        n.mem_used = (n.mem_used as i64 + delta) as usize;
+        self.cluster_mem = (self.cluster_mem as i64 + delta) as usize;
+        self.metrics.mem_update(now, self.cluster_mem as f64);
+    }
+
+    fn node_free(&self, node: NodeId) -> usize {
+        self.cfg
+            .node_mem_bytes
+            .saturating_sub(self.nodes[node.0].mem_used)
+    }
+
+    /// Ensures `needed` free bytes on a node by evicting idle sandboxes
+    /// (LRU; base sandboxes only when unreferenced, and last).
+    /// `exclude` protects a sandbox the caller is about to use (e.g. the
+    /// dedup sandbox being restored) from being evicted to make its own
+    /// room.
+    fn ensure_capacity(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        needed: usize,
+        exclude: Option<SandboxId>,
+    ) -> bool {
+        if self.node_free(node) >= needed {
+            return true;
+        }
+        // Gather idle candidates on this node, LRU first. Ordering:
+        // idle *warm* sandboxes are evicted before *dedup* sandboxes —
+        // a dedup sandbox holds a fraction of the memory and is the
+        // insurance Medes paid for — and base sandboxes go last.
+        let mut candidates: Vec<(u8, SimTime, SandboxId)> = self.nodes[node.0]
+            .sandboxes
+            .iter()
+            .filter_map(|&id| {
+                if Some(id) == exclude {
+                    return None;
+                }
+                let sb = &self.sandboxes[&id];
+                if !sb.state.assignable() {
+                    return None; // busy (running/restoring/deduping/spawning)
+                }
+                if sb.is_base && sb.refcount > 0 {
+                    return None; // pinned by dedup sandboxes
+                }
+                let class = if sb.is_base {
+                    2
+                } else if sb.state == SandboxState::Dedup {
+                    1
+                } else {
+                    0
+                };
+                Some((class, sb.last_used, id))
+            })
+            .collect();
+        candidates.sort_unstable();
+        for (_, _, id) in candidates {
+            if self.node_free(node) >= needed {
+                break;
+            }
+            self.purge_sandbox(now, id);
+            self.metrics.report.evictions += 1;
+        }
+        self.node_free(node) >= needed
+    }
+
+    // ------------------------------------------------------------------
+    // Sandbox bookkeeping.
+    // ------------------------------------------------------------------
+
+    fn live_count(&self) -> usize {
+        self.sandboxes.len()
+    }
+
+    /// Purges a sandbox completely (eviction or expiry).
+    fn purge_sandbox(&mut self, now: SimTime, id: SandboxId) {
+        let Some(sb) = self.sandboxes.remove(&id) else {
+            return;
+        };
+        debug_assert!(sb.state.assignable(), "only idle sandboxes are purged");
+        let rt = &mut self.fns[sb.func.0];
+        rt.idle_warm.remove(&(sb.last_used, id));
+        rt.idle_dedup.remove(&(sb.last_used, id));
+        rt.total_sandboxes -= 1;
+        if sb.state == SandboxState::Dedup {
+            rt.dedup_total -= 1;
+        }
+        self.nodes[sb.node.0].sandboxes.remove(&id);
+        self.charge(now, sb.node, -(sb.mem_paper_bytes as i64));
+        // Release base references held by the dedup table.
+        if let Some(table) = &sb.dedup_table {
+            self.release_base_refs(table);
+        }
+        if sb.is_base {
+            debug_assert_eq!(sb.refcount, 0, "purging a referenced base");
+            self.registry.remove_sandbox(id);
+            self.factory.unpin(sb.func, sb.instance_seed);
+            self.bases.remove(&id);
+            self.fns[sb.func.0].bases.retain(|&b| b != id);
+        }
+        self.metrics.live_update(now, self.live_count() as f64);
+    }
+
+    fn release_base_refs(&mut self, table: &crate::sandbox::DedupPageTable) {
+        let mut seen: Vec<SandboxId> = Vec::new();
+        for entry in &table.entries {
+            if let crate::sandbox::PageEntry::Patched { base_sandbox, .. } = entry {
+                if !seen.contains(base_sandbox) {
+                    seen.push(*base_sandbox);
+                }
+            }
+        }
+        for base in seen {
+            if let Some(sb) = self.sandboxes.get_mut(&base) {
+                sb.refcount = sb.refcount.saturating_sub(1);
+            }
+        }
+    }
+
+    fn keep_alive_window(&self, func: usize) -> SimDuration {
+        if let Some(f) = &self.fixed_ka {
+            f.keep_alive(func)
+        } else if let Some(a) = &self.adaptive_ka {
+            a.keep_alive(func)
+        } else {
+            self.medes
+                .as_ref()
+                .map(|m| m.keep_alive)
+                .unwrap_or(SimDuration::from_mins(10))
+        }
+    }
+
+    fn sample_exec(&mut self, func: usize) -> SimDuration {
+        let p = &self.fns[func].profile;
+        let mean = p.exec_time().as_secs_f64();
+        let cv = p.exec_cv.max(0.0);
+        if cv < 1e-9 {
+            return p.exec_time();
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        SimDuration::from_secs_f64(self.rng.log_normal(mu, sigma2.sqrt()))
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch.
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, req: ReqInfo, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let f = req.func;
+
+        // 1. Warm start: most recently used idle warm sandbox.
+        if let Some(&(lu, id)) = self.fns[f].idle_warm.iter().next_back() {
+            self.fns[f].idle_warm.remove(&(lu, id));
+            let warm = self.fns[f].profile.warm_start();
+            let exec = self.sample_exec(f);
+            let sb = self.sandboxes.get_mut(&id).expect("idle sandbox exists");
+            sb.transition(SandboxState::Running);
+            let startup = now.since(req.arrival) + warm;
+            let rec = RequestRecord {
+                id: req.id,
+                func: f,
+                arrival_us: req.arrival.as_micros(),
+                startup_us: startup.as_micros(),
+                exec_us: exec.as_micros(),
+                e2e_us: 0, // finalized at ExecDone
+                start: StartType::Warm,
+            };
+            sched.after(warm + exec, Ev::ExecDone { sb: id, rec });
+            return;
+        }
+
+        // 2. Dedup start: restore the most recently used dedup sandbox.
+        if let Some(&(lu, id)) = self.fns[f].idle_dedup.iter().next_back() {
+            let (node, cur_mem) = {
+                let sb = &self.sandboxes[&id];
+                (sb.node, sb.mem_paper_bytes)
+            };
+            let m_w = self.fns[f].profile.memory_bytes;
+            // Base pages are read and patched page-by-page, so the
+            // transient read volume (m_R) never needs to be resident at
+            // once; the restore only needs the final warm footprint.
+            let needed = m_w.saturating_sub(cur_mem);
+            if self.ensure_capacity(now, node, needed, Some(id)) {
+                self.fns[f].idle_dedup.remove(&(lu, id));
+                // Run the restore op against pinned base images.
+                let table = self.sandboxes[&id].dedup_table.clone_for_restore();
+                let verify = if self.cfg.verify_restores {
+                    let sb = &self.sandboxes[&id];
+                    Some(self.factory.image(sb.func, sb.instance_seed))
+                } else {
+                    None
+                };
+                let bases = &self.bases;
+                let outcome = restore_op(
+                    &self.cfg,
+                    &mut self.fabric,
+                    node,
+                    table.as_ref().expect("dedup sandbox has a table"),
+                    &|bid| bases.get(&bid).map(|(f, img)| (Arc::clone(img), *f)),
+                    verify.as_deref(),
+                )
+                .expect("refcounted bases cannot be missing");
+                let sb = self.sandboxes.get_mut(&id).expect("sandbox exists");
+                sb.transition(SandboxState::Restoring);
+                let grow = m_w as i64 - cur_mem as i64;
+                self.charge(now, node, grow.max(0));
+                let sbm = self.sandboxes.get_mut(&id).expect("sandbox exists");
+                sbm.mem_paper_bytes = cur_mem.max(m_w);
+                sched.after(
+                    outcome.timing.total(),
+                    Ev::RestoreDone {
+                        sb: id,
+                        req,
+                        read_paper: outcome.read_paper_bytes,
+                    },
+                );
+                // Record the Fig 8 breakdown.
+                let stats = &mut self.metrics.report.dedup_stats[f];
+                stats.restores += 1;
+                let n = stats.restores;
+                FnDedupStats::fold(
+                    &mut stats.mean_restore_us.0,
+                    n,
+                    outcome.timing.base_read.as_micros() as f64,
+                );
+                FnDedupStats::fold(
+                    &mut stats.mean_restore_us.1,
+                    n,
+                    outcome.timing.page_compute.as_micros() as f64,
+                );
+                FnDedupStats::fold(
+                    &mut stats.mean_restore_us.2,
+                    n,
+                    outcome.timing.ckpt_restore.as_micros() as f64,
+                );
+                self.fns[f].record_dedup_start(outcome.timing.total());
+                self.fns[f].record_restore_reads(outcome.read_paper_bytes);
+                return;
+            }
+            // No room to restore: fall through to the cold path (which
+            // may evict this very dedup sandbox if that's what it takes).
+        }
+
+        // 3. Cold start.
+        let m_w = self.fns[f].profile.memory_bytes;
+        let node = self.pick_node(now, m_w);
+        let Some(node) = node else {
+            // 4. No capacity anywhere: park in the wait queue. Exactly
+            // one retry chain per function keeps the event count linear.
+            self.fns[f].wait_queue.push_back(QueuedRequest {
+                id: req.id,
+                arrival: req.arrival,
+            });
+            if !self.fns[f].retry_armed {
+                self.fns[f].retry_armed = true;
+                sched.after(QUEUE_RETRY, Ev::RetryQueue { func: f });
+            }
+            return;
+        };
+        let id = SandboxId(self.next_sandbox);
+        self.next_sandbox += 1;
+        let instance_seed = self.rng.next_u64();
+        let model_pages = self.factory.model_pages(FnId(f));
+        let sb = Sandbox::new(id, FnId(f), node, instance_seed, now, m_w, model_pages);
+        self.sandboxes.insert(id, sb);
+        self.nodes[node.0].sandboxes.insert(id);
+        self.fns[f].total_sandboxes += 1;
+        self.charge(now, node, m_w as i64);
+        self.metrics.report.sandboxes_spawned += 1;
+        self.metrics.live_update(now, self.live_count() as f64);
+        let spawn_time = if self.cfg.catalyzer_mode {
+            self.cfg.catalyzer_restore
+        } else {
+            self.fns[f].profile.cold_start()
+        };
+        sched.after(spawn_time, Ev::SpawnDone { sb: id, req });
+    }
+
+    /// Picks the node with the most free memory that can (be made to)
+    /// fit `bytes`; evicts idle sandboxes if necessary.
+    fn pick_node(&mut self, now: SimTime, bytes: usize) -> Option<NodeId> {
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_unstable_by_key(|&i| std::cmp::Reverse(self.node_free(NodeId(i))));
+        for i in &order {
+            if self.node_free(NodeId(*i)) >= bytes {
+                return Some(NodeId(*i));
+            }
+        }
+        // Nothing fits outright: try eviction, most-free node first.
+        for i in order {
+            if self.ensure_capacity(now, NodeId(i), bytes, None) {
+                return Some(NodeId(i));
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Medes: dedup decision at idle-period expiry.
+    // ------------------------------------------------------------------
+
+    fn idle_check(&mut self, id: SandboxId, epoch: u64, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let Some(medes) = self.medes.clone() else {
+            return;
+        };
+        let Some(sb) = self.sandboxes.get(&id) else {
+            return;
+        };
+        if sb.epoch != epoch || sb.state != SandboxState::Warm {
+            return;
+        }
+        if now.since(sb.last_used) < medes.idle_period {
+            sched.at(
+                sb.last_used + medes.idle_period,
+                Ev::IdleCheck { sb: id, epoch },
+            );
+            return;
+        }
+        let f = sb.func.0;
+
+        // Base demarcation has priority: the first dedup-eligible
+        // sandbox (or one per T dedups) becomes a base instead.
+        if !sb.is_base && self.fns[f].needs_base(medes.base_threshold) {
+            let (func, seed, node) = (sb.func, sb.instance_seed, sb.node);
+            let img = self.factory.pin(func, seed);
+            index_base_sandbox(&self.cfg, &mut self.registry, node, id, &img);
+            self.bases.insert(id, (func, img));
+            self.fns[f].bases.push(id);
+            self.sandboxes.get_mut(&id).expect("exists").is_base = true;
+            // A base stays warm; keep-alive keeps re-arming while it is
+            // referenced. Nothing more to do now.
+            return;
+        }
+
+        // Dedup when below the policy's target, when the LP was
+        // infeasible (aggressive mode), or under memory pressure — the
+        // paper's policy "keeps the sandboxes warm only if enough memory
+        // is available" (§5.2.3); the per-node limit is a policy input
+        // (§7.2).
+        let rt = &self.fns[f];
+        let capacity = self.cfg.nodes * self.cfg.node_mem_bytes;
+        let pressure = self.cluster_mem as f64 > 0.90 * capacity as f64;
+        let want_dedup = rt.dedup_total < rt.target.target_dedup || !rt.target.feasible || pressure;
+        if !want_dedup || sb.is_base {
+            // Stay warm; re-evaluate after another idle period.
+            if now + medes.idle_period <= self.horizon + medes.keep_alive {
+                sched.after(medes.idle_period, Ev::IdleCheck { sb: id, epoch });
+            }
+            return;
+        }
+
+        // Run the dedup op.
+        let (func, seed, node) = {
+            let sb = self.sandboxes.get_mut(&id).expect("exists");
+            let info = (sb.func, sb.instance_seed, sb.node);
+            sb.transition(SandboxState::Deduping);
+            info
+        };
+        {
+            let sb = &self.sandboxes[&id];
+            let rt = &mut self.fns[f];
+            rt.idle_warm.remove(&(sb.last_used, id));
+        }
+        let image = self.factory.image(func, seed);
+        let bases = &self.bases;
+        let outcome = dedup_op(
+            &self.cfg,
+            &mut self.registry,
+            &mut self.fabric,
+            node,
+            func,
+            &image,
+            &|bid| bases.get(&bid).map(|(bf, img)| (Arc::clone(img), *bf)),
+        );
+        // Pin the referenced bases *now*: the dedup table already points
+        // into them, and they must survive until DedupDone commits (or
+        // reverts) the state.
+        for base in &outcome.referenced_bases {
+            if let Some(b) = self.sandboxes.get_mut(base) {
+                b.refcount += 1;
+            }
+        }
+        let epoch = self.sandboxes[&id].epoch;
+        sched.after(
+            outcome.timing.total(),
+            Ev::DedupDone {
+                sb: id,
+                epoch,
+                outcome: Box::new(outcome),
+            },
+        );
+    }
+
+    fn dedup_done(
+        &mut self,
+        id: SandboxId,
+        epoch: u64,
+        outcome: DedupOutcome,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let now = sched.now();
+        let Some(sb) = self.sandboxes.get(&id) else {
+            return;
+        };
+        if sb.epoch != epoch || sb.state != SandboxState::Deduping {
+            return;
+        }
+        let f = sb.func.0;
+        let node = sb.node;
+        let full_model = outcome.table.entries.len() * medes_mem::PAGE_SIZE;
+        let saved = outcome.saved_model_bytes();
+        let medes = self.medes.clone().expect("dedup requires Medes policy");
+
+        if (saved as f64) < MIN_SAVING_FRAC * full_model as f64 {
+            // Not worth it: return to warm; release the base pins taken
+            // at dedup initiation.
+            self.release_base_refs(&outcome.table);
+            let sb = self.sandboxes.get_mut(&id).expect("exists");
+            sb.transition(SandboxState::Warm);
+            sb.last_used = now;
+            let (lu, eid, fid) = (sb.last_used, sb.id, sb.func.0);
+            self.fns[fid].idle_warm.insert((lu, eid));
+            let epoch = self.sandboxes[&id].epoch;
+            sched.after(
+                self.keep_alive_window(f),
+                Ev::KeepAliveExpire { sb: id, epoch },
+            );
+            if now + medes.idle_period <= self.horizon + medes.keep_alive {
+                sched.after(medes.idle_period, Ev::IdleCheck { sb: id, epoch });
+            }
+            return;
+        }
+
+        // Commit the dedup state (base refcounts were taken at dedup
+        // initiation).
+        let new_paper = self
+            .cfg
+            .to_paper_bytes(outcome.table.resident_model_bytes());
+        let stats = &mut self.metrics.report.dedup_stats[f];
+        stats.dedup_ops += 1;
+        let n = stats.dedup_ops;
+        let saved_paper = self.cfg.to_paper_bytes(saved) as f64;
+        FnDedupStats::fold(&mut stats.mean_saved_paper_bytes, n, saved_paper);
+        FnDedupStats::fold(&mut stats.mean_dedup_footprint, n, new_paper as f64);
+        FnDedupStats::fold(
+            &mut stats.mean_dedup_op_us,
+            n,
+            outcome.timing.total().as_micros() as f64,
+        );
+        let patched = outcome.table.patched_pages().max(1);
+        FnDedupStats::fold(
+            &mut stats.mean_patch_bytes,
+            n,
+            outcome.table.patch_bytes as f64 / patched as f64,
+        );
+        self.metrics.report.same_fn_pages += outcome.same_fn_pages as u64;
+        self.metrics.report.cross_fn_pages += outcome.cross_fn_pages as u64;
+        if !self.sandboxes[&id].ever_deduped {
+            self.metrics.report.sandboxes_deduped += 1;
+            self.sandboxes.get_mut(&id).expect("exists").ever_deduped = true;
+        }
+        self.fns[f].record_dedup_footprint(new_paper);
+
+        let sb = self.sandboxes.get_mut(&id).expect("exists");
+        let delta = new_paper as i64 - sb.mem_paper_bytes as i64;
+        sb.mem_paper_bytes = new_paper;
+        sb.dedup_table = Some(outcome.table);
+        sb.transition(SandboxState::Dedup);
+        sb.last_used = now;
+        let epoch = sb.epoch;
+        self.charge(now, node, delta);
+        self.fns[f].dedup_total += 1;
+        self.fns[f].idle_dedup.insert((now, id));
+        sched.after(medes.keep_dedup, Ev::KeepDedupExpire { sb: id, epoch });
+    }
+
+    // ------------------------------------------------------------------
+    // Finish.
+    // ------------------------------------------------------------------
+
+    fn finish(mut self, end: SimTime) -> RunReport {
+        self.metrics.report.registry_entries = self.registry.entries();
+        self.metrics.report.registry_peak_entries = self.registry.peak_entries();
+        self.metrics.report.registry_peak_bytes = self.registry.peak_mem_bytes();
+        self.metrics.report.registry_bytes = self.registry.mem_bytes();
+        self.metrics.report.registry_lookups = self.registry.lookups();
+        self.metrics.report.rdma_bytes = self.fabric.stats().rdma_bytes;
+        let mut report = self.metrics.finish(end);
+        report.requests.sort_by_key(|r| r.id);
+        report
+    }
+}
+
+/// Cloning helper: the restore path needs the table while the sandbox
+/// stays borrowed; tables are modest (patches), and restores are on the
+/// critical path of a single request, so a clone is acceptable and keeps
+/// the borrow checker trivial.
+trait CloneForRestore {
+    fn clone_for_restore(&self) -> Option<crate::sandbox::DedupPageTable>;
+}
+
+impl CloneForRestore for Option<crate::sandbox::DedupPageTable> {
+    fn clone_for_restore(&self) -> Option<crate::sandbox::DedupPageTable> {
+        self.clone()
+    }
+}
+
+impl World for Cluster {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        match event {
+            Ev::Arrival { id, func } => {
+                self.fns[func].on_arrival();
+                if let Some(a) = &mut self.adaptive_ka {
+                    a.on_request(func, now);
+                }
+                let req = ReqInfo {
+                    id,
+                    func,
+                    arrival: now,
+                };
+                self.dispatch(req, sched);
+            }
+
+            Ev::SpawnDone { sb: id, req } => {
+                let exec = self.sample_exec(req.func);
+                let sb = self
+                    .sandboxes
+                    .get_mut(&id)
+                    .expect("spawning sandbox exists");
+                sb.transition(SandboxState::Running);
+                let startup = now.since(req.arrival);
+                let rec = RequestRecord {
+                    id: req.id,
+                    func: req.func,
+                    arrival_us: req.arrival.as_micros(),
+                    startup_us: startup.as_micros(),
+                    exec_us: exec.as_micros(),
+                    e2e_us: 0,
+                    start: StartType::Cold,
+                };
+                sched.after(exec, Ev::ExecDone { sb: id, rec });
+            }
+
+            Ev::RestoreDone {
+                sb: id,
+                req,
+                read_paper,
+            } => {
+                let f = req.func;
+                let m_w = self.fns[f].profile.memory_bytes;
+                let exec = self.sample_exec(f);
+                let sb = self
+                    .sandboxes
+                    .get_mut(&id)
+                    .expect("restoring sandbox exists");
+                debug_assert_eq!(sb.state, SandboxState::Restoring);
+                // Release the dedup representation + transient reads.
+                let table = sb.dedup_table.take();
+                let node = sb.node;
+                let delta = m_w as i64 - sb.mem_paper_bytes as i64;
+                sb.mem_paper_bytes = m_w;
+                sb.transition(SandboxState::Running);
+                self.charge(now, node, delta);
+                let _ = read_paper;
+                if let Some(t) = table {
+                    self.release_base_refs(&t);
+                }
+                self.fns[f].dedup_total -= 1;
+                let startup = now.since(req.arrival);
+                let rec = RequestRecord {
+                    id: req.id,
+                    func: f,
+                    arrival_us: req.arrival.as_micros(),
+                    startup_us: startup.as_micros(),
+                    exec_us: exec.as_micros(),
+                    e2e_us: 0,
+                    start: StartType::Dedup,
+                };
+                sched.after(exec, Ev::ExecDone { sb: id, rec });
+            }
+
+            Ev::ExecDone { sb: id, mut rec } => {
+                rec.e2e_us = now.since(SimTime::from_micros(rec.arrival_us)).as_micros();
+                self.metrics.report.requests.push(rec);
+                let sb = self.sandboxes.get_mut(&id).expect("running sandbox exists");
+                sb.transition(SandboxState::Warm);
+                sb.last_used = now;
+                let epoch = sb.epoch;
+                let f = sb.func.0;
+                self.fns[f].idle_warm.insert((now, id));
+                sched.after(
+                    self.keep_alive_window(f),
+                    Ev::KeepAliveExpire { sb: id, epoch },
+                );
+                if let Some(m) = &self.medes {
+                    if now + m.idle_period <= self.horizon + m.keep_alive {
+                        sched.after(m.idle_period, Ev::IdleCheck { sb: id, epoch });
+                    }
+                }
+                // Serve a queued request with this freshly warm sandbox.
+                if let Some(q) = self.fns[f].wait_queue.pop_front() {
+                    self.dispatch(
+                        ReqInfo {
+                            id: q.id,
+                            func: f,
+                            arrival: q.arrival,
+                        },
+                        sched,
+                    );
+                }
+            }
+
+            Ev::IdleCheck { sb, epoch } => self.idle_check(sb, epoch, sched),
+
+            Ev::KeepAliveExpire { sb: id, epoch } => {
+                let Some(sb) = self.sandboxes.get(&id) else {
+                    return;
+                };
+                if sb.epoch != epoch || sb.state != SandboxState::Warm {
+                    return;
+                }
+                let f = sb.func.0;
+                let window = self.keep_alive_window(f);
+                let idle_for = now.since(sb.last_used);
+                if idle_for < window {
+                    sched.at(sb.last_used + window, Ev::KeepAliveExpire { sb: id, epoch });
+                    return;
+                }
+                if sb.is_base && sb.refcount > 0 {
+                    // Referenced base sandboxes cannot be purged;
+                    // re-check after another window.
+                    if now + window <= self.horizon + window + window {
+                        sched.after(window, Ev::KeepAliveExpire { sb: id, epoch });
+                    }
+                    return;
+                }
+                self.purge_sandbox(now, id);
+                self.metrics.report.expirations += 1;
+            }
+
+            Ev::KeepDedupExpire { sb: id, epoch } => {
+                let Some(sb) = self.sandboxes.get(&id) else {
+                    return;
+                };
+                if sb.epoch != epoch || sb.state != SandboxState::Dedup {
+                    return;
+                }
+                self.purge_sandbox(now, id);
+                self.metrics.report.expirations += 1;
+            }
+
+            Ev::DedupDone { sb, epoch, outcome } => self.dedup_done(sb, epoch, *outcome, sched),
+
+            Ev::PolicyTick => {
+                let Some(medes) = self.medes.clone() else {
+                    return;
+                };
+                // Memory-budget objectives divide the cluster budget by
+                // arrival-rate share (§5.3).
+                let budgets: Option<Vec<f64>> =
+                    if let Objective::MemoryBudget { budget_bytes } = medes.objective {
+                        let rates: Vec<f64> = self
+                            .fns
+                            .iter()
+                            .map(|rt| rt.lambda_max(self.cfg.policy_tick))
+                            .collect();
+                        Some(medes_policy::medes::divide_budget(budget_bytes, &rates))
+                    } else {
+                        None
+                    };
+                for (i, rt) in self.fns.iter_mut().enumerate() {
+                    rt.roll_tick();
+                    let state = rt.function_state(self.cfg.policy_tick);
+                    let mut cfg_i = medes.clone();
+                    if let (Some(b), Objective::MemoryBudget { .. }) = (&budgets, medes.objective) {
+                        cfg_i.objective = Objective::MemoryBudget { budget_bytes: b[i] };
+                    }
+                    rt.target = solve(&cfg_i, &state);
+                }
+                if now + self.cfg.policy_tick <= self.horizon {
+                    sched.after(self.cfg.policy_tick, Ev::PolicyTick);
+                }
+            }
+
+            Ev::RetryQueue { func } => {
+                // Exactly one retry chain per function: this timer is the
+                // outstanding one; re-arm only if requests remain after
+                // the dispatch attempt (which may re-queue the head).
+                self.fns[func].retry_armed = false;
+                if let Some(q) = self.fns[func].wait_queue.pop_front() {
+                    self.dispatch(
+                        ReqInfo {
+                            id: q.id,
+                            func,
+                            arrival: q.arrival,
+                        },
+                        sched,
+                    );
+                }
+                if !self.fns[func].wait_queue.is_empty() && !self.fns[func].retry_armed {
+                    self.fns[func].retry_armed = true;
+                    sched.after(QUEUE_RETRY, Ev::RetryQueue { func });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medes_trace::{azure_like_trace, functionbench_suite, TraceGenConfig};
+
+    fn small_trace(secs: u64, scale: f64) -> (Vec<FunctionProfile>, Trace) {
+        let suite: Vec<FunctionProfile> = functionbench_suite().into_iter().take(4).collect();
+        let names: Vec<String> = suite.iter().map(|p| p.name.clone()).collect();
+        let trace = azure_like_trace(
+            &names,
+            &TraceGenConfig {
+                duration_secs: secs,
+                scale,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        (suite, trace)
+    }
+
+    #[test]
+    fn every_request_completes() {
+        let (suite, trace) = small_trace(120, 2.0);
+        let report = Platform::new(PlatformConfig::small_test(), suite).run(&trace);
+        assert_eq!(report.requests.len(), trace.len());
+        assert!(report.requests.iter().all(|r| r.e2e_us >= r.exec_us));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (suite, trace) = small_trace(60, 2.0);
+        let r1 = Platform::new(PlatformConfig::small_test(), suite.clone()).run(&trace);
+        let r2 = Platform::new(PlatformConfig::small_test(), suite).run(&trace);
+        assert_eq!(r1.requests.len(), r2.requests.len());
+        for (a, b) in r1.requests.iter().zip(&r2.requests) {
+            assert_eq!(a.e2e_us, b.e2e_us);
+            assert_eq!(a.start, b.start);
+        }
+        assert_eq!(r1.total_cold_starts(), r2.total_cold_starts());
+    }
+
+    #[test]
+    fn first_request_is_a_cold_start_then_warm_reuse() {
+        let (suite, trace) = small_trace(120, 2.0);
+        let report = Platform::new(PlatformConfig::small_test(), suite).run(&trace);
+        // The earliest request of each function must be cold.
+        for f in 0..report.functions.len() {
+            if let Some(first) = report
+                .requests
+                .iter()
+                .filter(|r| r.func == f)
+                .min_by_key(|r| r.arrival_us)
+            {
+                assert_eq!(first.start, StartType::Cold, "fn {f}");
+            }
+        }
+        // With steady traffic there must be warm starts too.
+        assert!(report.requests.iter().any(|r| r.start == StartType::Warm));
+    }
+
+    #[test]
+    fn medes_produces_dedup_starts_under_pressure() {
+        let (suite, trace) = small_trace(600, 10.0);
+        let mut cfg = PlatformConfig::small_test();
+        // A tight memory budget (P2) forces the optimizer to demand
+        // dedup; a short idle period acts on it quickly.
+        if let PolicyKind::Medes(m) = &mut cfg.policy {
+            m.idle_period = SimDuration::from_secs(5);
+            m.objective = medes_policy::medes::Objective::MemoryBudget {
+                budget_bytes: 100e6,
+            };
+        }
+        let report = Platform::new(cfg, suite).run(&trace);
+        assert!(
+            report.sandboxes_deduped > 0,
+            "dedup ops must happen under pressure"
+        );
+        assert!(
+            report.requests.iter().any(|r| r.start == StartType::Dedup),
+            "dedup starts must serve requests"
+        );
+        assert!(report.registry_peak_entries > 0, "bases must be indexed");
+    }
+
+    #[test]
+    fn baseline_policies_never_dedup() {
+        let (suite, trace) = small_trace(120, 2.0);
+        let cfg = PlatformConfig::small_test()
+            .with_policy(PolicyKind::FixedKeepAlive(SimDuration::from_mins(10)));
+        let report = Platform::new(cfg, suite).run(&trace);
+        assert_eq!(report.sandboxes_deduped, 0);
+        assert!(report.requests.iter().all(|r| r.start != StartType::Dedup));
+    }
+
+    #[test]
+    fn memory_limit_is_respected() {
+        let (suite, trace) = small_trace(600, 25.0);
+        let mut cfg = PlatformConfig::small_test()
+            .with_policy(PolicyKind::FixedKeepAlive(SimDuration::from_mins(10)));
+        cfg.nodes = 2;
+        cfg.node_mem_bytes = 100 << 20;
+        let nodes = cfg.nodes;
+        let limit = cfg.node_mem_bytes;
+        let report = Platform::new(cfg, suite).run(&trace);
+        // Memory samples must stay within cluster capacity (small slack
+        // for transient restore overheads).
+        let cap = (nodes * limit) as f64;
+        for &(_, mem) in &report.mem_series {
+            assert!(mem <= cap * 1.05, "memory {mem} exceeds capacity {cap}");
+        }
+        assert!(report.evictions > 0, "pressure must cause evictions");
+    }
+}

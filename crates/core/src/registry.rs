@@ -1,0 +1,253 @@
+//! The controller's global fingerprint registry (§3.1, §4.1.3).
+//!
+//! A hash table mapping RSC (64 B chunk) hashes to their locations in
+//! the cluster. Only **base sandboxes** populate the registry — that is
+//! the design decision that keeps its footprint proportional to the
+//! number of base sandboxes rather than the total sandbox count.
+//!
+//! Lookups take a page fingerprint (≤ 5 chunk hashes) and return, per
+//! candidate base page, how many of the sampled chunks it shares — the
+//! vote count used for base-page election.
+
+use crate::ids::{NodeId, SandboxId};
+use medes_hash::ChunkHash;
+use medes_hash::PageFingerprint;
+use std::collections::HashMap;
+
+/// Where one RSC lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkLoc {
+    /// Node holding the base sandbox.
+    pub node: NodeId,
+    /// The base sandbox.
+    pub sandbox: SandboxId,
+    /// Page index within the base sandbox's image.
+    pub page: u32,
+}
+
+/// A candidate base page with its vote count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The base page's location.
+    pub loc: ChunkLoc,
+    /// Number of fingerprint chunks shared with the probe page.
+    pub votes: u32,
+}
+
+/// Per-hash location list cap: popular chunks (zero pages) would
+/// otherwise accumulate unbounded lists. A handful of candidate
+/// locations is plenty for base-page election.
+const MAX_LOCS_PER_HASH: usize = 8;
+
+/// Approximate per-entry bytes for overhead reporting: hash + location.
+const ENTRY_BYTES: usize = 8 + std::mem::size_of::<ChunkLoc>();
+
+/// The global fingerprint registry.
+#[derive(Debug, Default)]
+pub struct FingerprintRegistry {
+    table: HashMap<ChunkHash, Vec<ChunkLoc>>,
+    /// Reverse index for exact removal when a base sandbox is purged.
+    by_sandbox: HashMap<SandboxId, Vec<ChunkHash>>,
+    entries: usize,
+    peak_entries: usize,
+    lookups: u64,
+}
+
+impl FingerprintRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts all fingerprint chunks of one base-sandbox page.
+    pub fn insert_page(&mut self, fp: &PageFingerprint, loc: ChunkLoc) {
+        let hashes = self.by_sandbox.entry(loc.sandbox).or_default();
+        for chunk in fp.chunks() {
+            let locs = self.table.entry(chunk.hash).or_default();
+            if locs.len() < MAX_LOCS_PER_HASH {
+                locs.push(loc);
+                hashes.push(chunk.hash);
+                self.entries += 1;
+                self.peak_entries = self.peak_entries.max(self.entries);
+            }
+        }
+    }
+
+    /// Looks up a page fingerprint and returns candidate base pages
+    /// ordered by descending vote count (stable order for determinism).
+    pub fn lookup(&mut self, fp: &PageFingerprint) -> Vec<Candidate> {
+        self.lookups += 1;
+        let mut votes: HashMap<ChunkLoc, u32> = HashMap::new();
+        for chunk in fp.chunks() {
+            if let Some(locs) = self.table.get(&chunk.hash) {
+                for &loc in locs {
+                    *votes.entry(loc).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out: Vec<Candidate> = votes
+            .into_iter()
+            .map(|(loc, votes)| Candidate { loc, votes })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.votes
+                .cmp(&a.votes)
+                .then_with(|| a.loc.sandbox.cmp(&b.loc.sandbox))
+                .then_with(|| a.loc.page.cmp(&b.loc.page))
+        });
+        out
+    }
+
+    /// Removes every entry contributed by a base sandbox.
+    pub fn remove_sandbox(&mut self, sandbox: SandboxId) {
+        let Some(hashes) = self.by_sandbox.remove(&sandbox) else {
+            return;
+        };
+        for h in hashes {
+            if let Some(locs) = self.table.get_mut(&h) {
+                let before = locs.len();
+                locs.retain(|l| l.sandbox != sandbox);
+                self.entries -= before - locs.len();
+                if locs.is_empty() {
+                    self.table.remove(&h);
+                }
+            }
+        }
+    }
+
+    /// Number of (hash, location) entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// High-water mark of entries over the registry's lifetime (the
+    /// §7.7 controller-overhead number; the live count drains as base
+    /// sandboxes expire at the end of a run).
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// High-water mark of registry bytes.
+    pub fn peak_mem_bytes(&self) -> usize {
+        self.peak_entries * ENTRY_BYTES
+    }
+
+    /// Total lookups served (for the §7.7 overhead report).
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Approximate resident bytes of the registry.
+    pub fn mem_bytes(&self) -> usize {
+        self.entries * ENTRY_BYTES
+    }
+
+    /// Number of base sandboxes currently contributing entries.
+    pub fn base_sandboxes(&self) -> usize {
+        self.by_sandbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medes_hash::sample::{page_fingerprint, FingerprintConfig};
+    use medes_sim::DetRng;
+
+    fn random_page(seed: u64) -> Vec<u8> {
+        let mut rng = DetRng::new(seed);
+        let mut p = vec![0u8; 4096];
+        rng.fill_bytes(&mut p);
+        p
+    }
+
+    fn loc(sb: u64, page: u32) -> ChunkLoc {
+        ChunkLoc {
+            node: NodeId(0),
+            sandbox: SandboxId(sb),
+            page,
+        }
+    }
+
+    #[test]
+    fn exact_page_gets_full_votes() {
+        let cfg = FingerprintConfig::default();
+        let page = random_page(1);
+        let fp = page_fingerprint(&page, &cfg);
+        assert!(!fp.is_empty());
+        let mut reg = FingerprintRegistry::new();
+        reg.insert_page(&fp, loc(1, 0));
+        let cands = reg.lookup(&fp);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].votes as usize, fp.len());
+        assert_eq!(cands[0].loc, loc(1, 0));
+    }
+
+    #[test]
+    fn unrelated_page_gets_no_candidates() {
+        let cfg = FingerprintConfig::default();
+        let mut reg = FingerprintRegistry::new();
+        reg.insert_page(&page_fingerprint(&random_page(1), &cfg), loc(1, 0));
+        let cands = reg.lookup(&page_fingerprint(&random_page(2), &cfg));
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn votes_rank_candidates() {
+        let cfg = FingerprintConfig::default();
+        let page = random_page(3);
+        let fp = page_fingerprint(&page, &cfg);
+        // A partially matching page: shares a prefix of the original.
+        let mut partial = random_page(4);
+        partial[..2048].copy_from_slice(&page[..2048]);
+        let fp_partial = page_fingerprint(&partial, &cfg);
+        let mut reg = FingerprintRegistry::new();
+        reg.insert_page(&fp, loc(1, 0));
+        reg.insert_page(&fp_partial, loc(2, 0));
+        let cands = reg.lookup(&fp);
+        assert_eq!(cands[0].loc.sandbox, SandboxId(1), "exact match wins");
+        if cands.len() > 1 {
+            assert!(cands[0].votes >= cands[1].votes);
+        }
+    }
+
+    #[test]
+    fn removal_is_exact() {
+        let cfg = FingerprintConfig::default();
+        let mut reg = FingerprintRegistry::new();
+        let fp1 = page_fingerprint(&random_page(5), &cfg);
+        let fp2 = page_fingerprint(&random_page(6), &cfg);
+        reg.insert_page(&fp1, loc(1, 0));
+        reg.insert_page(&fp2, loc(2, 0));
+        let total = reg.entries();
+        reg.remove_sandbox(SandboxId(1));
+        assert_eq!(reg.entries(), total - fp1.len());
+        assert!(reg.lookup(&fp1).is_empty());
+        assert!(!reg.lookup(&fp2).is_empty());
+        assert_eq!(reg.base_sandboxes(), 1);
+    }
+
+    #[test]
+    fn per_hash_cap_holds() {
+        let cfg = FingerprintConfig::default();
+        let page = random_page(7);
+        let fp = page_fingerprint(&page, &cfg);
+        let mut reg = FingerprintRegistry::new();
+        for sb in 0..20 {
+            reg.insert_page(&fp, loc(sb, 0));
+        }
+        let cands = reg.lookup(&fp);
+        assert!(cands.len() <= MAX_LOCS_PER_HASH);
+        assert!(reg.mem_bytes() > 0);
+    }
+
+    #[test]
+    fn lookup_counter_increments() {
+        let cfg = FingerprintConfig::default();
+        let mut reg = FingerprintRegistry::new();
+        let fp = page_fingerprint(&random_page(8), &cfg);
+        reg.lookup(&fp);
+        reg.lookup(&fp);
+        assert_eq!(reg.lookups(), 2);
+    }
+}

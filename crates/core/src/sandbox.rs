@@ -1,0 +1,258 @@
+//! Sandbox state and the Fig 4b lifecycle state machine.
+
+use crate::ids::{FnId, NodeId, SandboxId};
+use medes_delta::Patch;
+use medes_sim::SimTime;
+
+/// Sandbox lifecycle states (Fig 4b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SandboxState {
+    /// Being spawned (cold start in progress).
+    Spawning,
+    /// Executing a request.
+    Running,
+    /// Idle, full memory resident.
+    Warm,
+    /// Dedup op in progress (unavailable).
+    Deduping,
+    /// Deduplicated: only unique pages + patches resident.
+    Dedup,
+    /// Restore op in progress (a request is waiting on it).
+    Restoring,
+}
+
+impl SandboxState {
+    /// Whether a scheduler may assign a request to a sandbox in this
+    /// state. Dedup sandboxes are assignable (they restore first).
+    pub fn assignable(self) -> bool {
+        matches!(self, SandboxState::Warm | SandboxState::Dedup)
+    }
+
+    /// Legal transitions of the Fig 4b state machine.
+    pub fn can_transition_to(self, next: SandboxState) -> bool {
+        use SandboxState::*;
+        matches!(
+            (self, next),
+            (Spawning, Running)
+                | (Running, Warm)
+                | (Warm, Running)      // warm start
+                | (Warm, Deduping)     // policy chose dedup
+                | (Deduping, Dedup)
+                | (Deduping, Warm)     // dedup found no savings; stay warm
+                | (Dedup, Restoring)   // dedup start
+                | (Restoring, Running)
+        )
+    }
+}
+
+/// How one page of a dedup sandbox is stored.
+#[derive(Debug, Clone)]
+pub enum PageEntry {
+    /// Kept verbatim (no suitable base page found).
+    Verbatim,
+    /// Stored as a patch against a base page elsewhere in the cluster.
+    Patched {
+        /// The base sandbox holding the reference page.
+        base_sandbox: SandboxId,
+        /// Node of the base sandbox.
+        base_node: NodeId,
+        /// Page index within the base sandbox.
+        base_page: u32,
+        /// The binary patch reconstructing this page.
+        patch: Patch,
+    },
+}
+
+/// The residual memory representation of a dedup sandbox.
+#[derive(Debug, Clone, Default)]
+pub struct DedupPageTable {
+    /// One entry per page of the original image.
+    pub entries: Vec<PageEntry>,
+    /// Total serialized patch bytes (model scale).
+    pub patch_bytes: usize,
+    /// Pages kept verbatim.
+    pub verbatim_pages: usize,
+}
+
+impl DedupPageTable {
+    /// Pages stored as patches.
+    pub fn patched_pages(&self) -> usize {
+        self.entries.len() - self.verbatim_pages
+    }
+
+    /// Model-scale resident bytes of the dedup representation:
+    /// verbatim pages + patches + per-page metadata.
+    pub fn resident_model_bytes(&self) -> usize {
+        const PER_PAGE_METADATA: usize = 24;
+        self.verbatim_pages * medes_mem::PAGE_SIZE
+            + self.patch_bytes
+            + self.entries.len() * PER_PAGE_METADATA
+    }
+}
+
+/// One sandbox.
+#[derive(Debug)]
+pub struct Sandbox {
+    /// Unique id.
+    pub id: SandboxId,
+    /// The function it runs.
+    pub func: FnId,
+    /// The node it lives on.
+    pub node: NodeId,
+    /// Current lifecycle state.
+    pub state: SandboxState,
+    /// Content seed: the image is a pure function of (spec, this).
+    pub instance_seed: u64,
+    /// Last time the sandbox finished serving a request.
+    pub last_used: SimTime,
+    /// Creation time.
+    pub created: SimTime,
+    /// Timer epoch: bumped on every state change so stale timer events
+    /// can be ignored.
+    pub epoch: u64,
+    /// Whether this is a base sandbox (pinned warm; populates the
+    /// registry).
+    pub is_base: bool,
+    /// Whether this sandbox has ever entered the dedup state (for the
+    /// distinct-sandbox dedup-fraction metric).
+    pub ever_deduped: bool,
+    /// Dedup sandboxes currently referencing this base sandbox.
+    pub refcount: u32,
+    /// Dedup representation (present iff state ∈ {Dedup, Restoring}).
+    pub dedup_table: Option<DedupPageTable>,
+    /// Paper-scale bytes currently charged to the hosting node.
+    pub mem_paper_bytes: usize,
+    /// Total pages of the (model-scale) image.
+    pub model_pages: usize,
+}
+
+impl Sandbox {
+    /// Creates a sandbox entering the `Spawning` state.
+    pub fn new(
+        id: SandboxId,
+        func: FnId,
+        node: NodeId,
+        instance_seed: u64,
+        now: SimTime,
+        mem_paper_bytes: usize,
+        model_pages: usize,
+    ) -> Self {
+        Sandbox {
+            id,
+            func,
+            node,
+            state: SandboxState::Spawning,
+            instance_seed,
+            last_used: now,
+            created: now,
+            epoch: 0,
+            is_base: false,
+            ever_deduped: false,
+            refcount: 0,
+            dedup_table: None,
+            mem_paper_bytes,
+            model_pages,
+        }
+    }
+
+    /// Transitions the state machine, bumping the timer epoch.
+    ///
+    /// # Panics
+    /// Panics on an illegal transition — that is always a platform bug.
+    pub fn transition(&mut self, next: SandboxState) {
+        assert!(
+            self.state.can_transition_to(next),
+            "illegal sandbox transition {:?} -> {:?} ({})",
+            self.state,
+            next,
+            self.id
+        );
+        self.state = next;
+        self.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medes_delta::Patch;
+
+    fn sandbox() -> Sandbox {
+        Sandbox::new(
+            SandboxId(1),
+            FnId(0),
+            NodeId(0),
+            42,
+            SimTime::ZERO,
+            17 << 20,
+            64,
+        )
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut sb = sandbox();
+        sb.transition(SandboxState::Running);
+        sb.transition(SandboxState::Warm);
+        sb.transition(SandboxState::Deduping);
+        sb.transition(SandboxState::Dedup);
+        sb.transition(SandboxState::Restoring);
+        sb.transition(SandboxState::Running);
+        sb.transition(SandboxState::Warm);
+        assert_eq!(sb.epoch, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal sandbox transition")]
+    fn illegal_transition_panics() {
+        let mut sb = sandbox();
+        sb.transition(SandboxState::Dedup); // Spawning -> Dedup is illegal
+    }
+
+    #[test]
+    fn assignability() {
+        assert!(SandboxState::Warm.assignable());
+        assert!(SandboxState::Dedup.assignable());
+        assert!(!SandboxState::Running.assignable());
+        assert!(!SandboxState::Deduping.assignable());
+        assert!(!SandboxState::Restoring.assignable());
+        assert!(!SandboxState::Spawning.assignable());
+    }
+
+    #[test]
+    fn dedup_table_accounting() {
+        let patch = Patch {
+            base_len: 4096,
+            target_len: 4096,
+            instrs: vec![],
+        };
+        let patch_bytes = patch.serialized_size();
+        let table = DedupPageTable {
+            entries: vec![
+                PageEntry::Verbatim,
+                PageEntry::Patched {
+                    base_sandbox: SandboxId(9),
+                    base_node: NodeId(1),
+                    base_page: 3,
+                    patch,
+                },
+            ],
+            patch_bytes,
+            verbatim_pages: 1,
+        };
+        assert_eq!(table.patched_pages(), 1);
+        let resident = table.resident_model_bytes();
+        assert!(resident > 4096, "verbatim page dominates");
+        assert!(resident < 2 * 4096, "must be far below full size");
+    }
+
+    #[test]
+    fn dedup_to_warm_fallback_is_legal() {
+        let mut sb = sandbox();
+        sb.transition(SandboxState::Running);
+        sb.transition(SandboxState::Warm);
+        sb.transition(SandboxState::Deduping);
+        sb.transition(SandboxState::Warm);
+        assert_eq!(sb.state, SandboxState::Warm);
+    }
+}

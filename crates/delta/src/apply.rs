@@ -1,0 +1,158 @@
+//! Patch application: reconstruct a target page from base + patch.
+//!
+//! This is the hot path of the *restore* operation — the dedup agent
+//! applies one patch per deduplicated page while a request is waiting —
+//! so it is a single pass with exact pre-allocation and no copies beyond
+//! the output buffer itself.
+
+use crate::format::{Instr, Patch};
+
+/// Errors from [`apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The base buffer has a different length than the patch expects.
+    BaseLengthMismatch {
+        /// Length recorded in the patch header.
+        expected: u32,
+        /// Length of the supplied base.
+        actual: usize,
+    },
+    /// A COPY instruction references bytes outside the base.
+    CopyOutOfRange {
+        /// COPY offset.
+        offset: u32,
+        /// COPY length.
+        len: u32,
+    },
+    /// The instruction stream reconstructed a different number of bytes
+    /// than the header claims (corrupt patch).
+    OutputLengthMismatch {
+        /// Length recorded in the patch header.
+        expected: u32,
+        /// Bytes actually produced.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::BaseLengthMismatch { expected, actual } => write!(
+                f,
+                "base length mismatch: patch expects {expected}, got {actual}"
+            ),
+            DeltaError::CopyOutOfRange { offset, len } => {
+                write!(f, "COPY out of range: offset {offset} len {len}")
+            }
+            DeltaError::OutputLengthMismatch { expected, actual } => write!(
+                f,
+                "output length mismatch: header says {expected}, produced {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Reconstructs the target buffer from `base` and `patch`.
+pub fn apply(base: &[u8], patch: &Patch) -> Result<Vec<u8>, DeltaError> {
+    if base.len() != patch.base_len as usize {
+        return Err(DeltaError::BaseLengthMismatch {
+            expected: patch.base_len,
+            actual: base.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(patch.target_len as usize);
+    for instr in &patch.instrs {
+        match instr {
+            Instr::Copy { offset, len } => {
+                let start = *offset as usize;
+                let end = start
+                    .checked_add(*len as usize)
+                    .filter(|&e| e <= base.len())
+                    .ok_or(DeltaError::CopyOutOfRange {
+                        offset: *offset,
+                        len: *len,
+                    })?;
+                out.extend_from_slice(&base[start..end]);
+            }
+            Instr::Add(data) => out.extend_from_slice(data),
+        }
+    }
+    if out.len() != patch.target_len as usize {
+        return Err(DeltaError::OutputLengthMismatch {
+            expected: patch.target_len,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_base_mismatch() {
+        let patch = Patch {
+            base_len: 10,
+            target_len: 0,
+            instrs: vec![],
+        };
+        let err = apply(b"short", &patch).unwrap_err();
+        assert!(matches!(err, DeltaError::BaseLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn detects_copy_out_of_range() {
+        let patch = Patch {
+            base_len: 4,
+            target_len: 8,
+            instrs: vec![Instr::Copy { offset: 2, len: 6 }],
+        };
+        let err = apply(b"base", &patch).unwrap_err();
+        assert_eq!(err, DeltaError::CopyOutOfRange { offset: 2, len: 6 });
+    }
+
+    #[test]
+    fn detects_length_mismatch() {
+        let patch = Patch {
+            base_len: 4,
+            target_len: 100,
+            instrs: vec![Instr::Add(b"only-nine".to_vec())],
+        };
+        let err = apply(b"base", &patch).unwrap_err();
+        assert!(matches!(err, DeltaError::OutputLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn manual_patch_applies() {
+        let base = b"0123456789";
+        let patch = Patch {
+            base_len: 10,
+            target_len: 9,
+            instrs: vec![
+                Instr::Copy { offset: 5, len: 5 },
+                Instr::Add(b"XY".to_vec()),
+                Instr::Copy { offset: 0, len: 2 },
+            ],
+        };
+        assert_eq!(apply(base, &patch).unwrap(), b"56789XY01");
+    }
+
+    #[test]
+    fn copy_len_overflow_is_rejected() {
+        let patch = Patch {
+            base_len: 4,
+            target_len: 4,
+            instrs: vec![Instr::Copy {
+                offset: u32::MAX,
+                len: u32::MAX,
+            }],
+        };
+        assert!(matches!(
+            apply(b"base", &patch).unwrap_err(),
+            DeltaError::CopyOutOfRange { .. }
+        ));
+    }
+}

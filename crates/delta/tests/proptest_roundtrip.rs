@@ -1,0 +1,68 @@
+//! Property tests: encode→apply must be the identity for *any* pair of
+//! buffers, at every compression level, and serialization must roundtrip.
+
+use medes_delta::{apply, diff, format::Patch};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_apply_roundtrip(
+        base in proptest::collection::vec(any::<u8>(), 0..2048),
+        target in proptest::collection::vec(any::<u8>(), 0..2048),
+        level in 0u8..=9,
+    ) {
+        let patch = diff(&base, &target, level);
+        let out = apply(&base, &patch).expect("apply must succeed");
+        prop_assert_eq!(out, target);
+    }
+
+    #[test]
+    fn related_buffers_roundtrip(
+        base in proptest::collection::vec(any::<u8>(), 64..2048),
+        edits in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..32),
+        level in 1u8..=9,
+    ) {
+        // Target = base with point edits: the common case for pages.
+        let mut target = base.clone();
+        for (idx, val) in edits {
+            let i = idx.index(target.len());
+            target[i] = val;
+        }
+        let patch = diff(&base, &target, level);
+        let out = apply(&base, &patch).expect("apply must succeed");
+        prop_assert_eq!(&out, &target);
+        // A patch never needs to be much larger than storing the target.
+        prop_assert!(patch.serialized_size() <= target.len() + 64);
+    }
+
+    #[test]
+    fn serialization_roundtrip(
+        base in proptest::collection::vec(any::<u8>(), 0..1024),
+        target in proptest::collection::vec(any::<u8>(), 0..1024),
+        level in 0u8..=9,
+    ) {
+        let patch = diff(&base, &target, level);
+        let bytes = patch.to_bytes();
+        prop_assert_eq!(bytes.len(), patch.serialized_size());
+        let parsed = Patch::from_bytes(&bytes).expect("parse must succeed");
+        prop_assert_eq!(parsed, patch);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Patch::from_bytes(&data); // must not panic
+    }
+
+    #[test]
+    fn apply_never_panics_on_parsed_garbage(
+        mut data in proptest::collection::vec(any::<u8>(), 4..512),
+        base in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        data[..4].copy_from_slice(b"MDp1");
+        if let Ok(patch) = Patch::from_bytes(&data) {
+            let _ = apply(&base, &patch); // must not panic
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Rolling Karp–Rabin hash over a fixed-size window.
+//!
+//! The dedup agent scans each 4 KiB page with a rolling 64 B window
+//! (§4.1.2). A rolling hash lets it evaluate all 4033 window positions
+//! in O(page) instead of O(page × window). We use the classic
+//! multiply-shift Karp–Rabin construction over the 2⁶⁴ ring with an odd
+//! multiplier; removal of the outgoing byte uses a precomputed
+//! `MULT^(W-1)` power, so `push` is two multiplies and two adds.
+
+/// The multiplier (odd, chosen with good avalanche behaviour for KR
+/// hashing; the same constant family used by polynomial string hashes).
+const MULT: u64 = 0x9E3779B97F4A7C15 | 1;
+
+/// A rolling hash over a window of `W` bytes.
+///
+/// # Examples
+///
+/// ```
+/// use medes_hash::rabin::RollingHash;
+///
+/// let data = b"the quick brown fox jumps over the lazy dog!!!";
+/// let w = 8;
+/// let mut roll = RollingHash::new(w);
+/// // Hash of the first window by pushing bytes one at a time:
+/// for &b in &data[..w] {
+///     roll.push(b);
+/// }
+/// let direct = RollingHash::hash_of(&data[..w]);
+/// assert_eq!(roll.value(), direct);
+/// // Slide one byte and compare against direct hashing again.
+/// roll.push(data[w]);
+/// assert_eq!(roll.value(), RollingHash::hash_of(&data[1..w + 1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollingHash {
+    window: usize,
+    /// `MULT^(window-1)`, used to remove the outgoing byte.
+    out_factor: u64,
+    buf: Vec<u8>,
+    head: usize,
+    filled: usize,
+    hash: u64,
+}
+
+impl RollingHash {
+    /// Creates a rolling hash over windows of `window` bytes (≥ 1).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1 byte");
+        let mut out_factor: u64 = 1;
+        for _ in 0..window - 1 {
+            out_factor = out_factor.wrapping_mul(MULT);
+        }
+        RollingHash {
+            window,
+            out_factor,
+            buf: vec![0; window],
+            head: 0,
+            filled: 0,
+            hash: 0,
+        }
+    }
+
+    /// Direct (non-rolling) hash of a full window — must agree with the
+    /// rolled value for the same bytes.
+    pub fn hash_of(data: &[u8]) -> u64 {
+        let mut h: u64 = 0;
+        for &b in data {
+            h = h.wrapping_mul(MULT).wrapping_add(b as u64 + 1);
+        }
+        h
+    }
+
+    /// Window size in bytes.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Whether a full window has been pushed.
+    pub fn is_full(&self) -> bool {
+        self.filled == self.window
+    }
+
+    /// Pushes one byte; once the window is full, the oldest byte rolls
+    /// out automatically.
+    pub fn push(&mut self, byte: u8) {
+        if self.filled == self.window {
+            let outgoing = self.buf[self.head] as u64 + 1;
+            self.hash = self
+                .hash
+                .wrapping_sub(outgoing.wrapping_mul(self.out_factor));
+        } else {
+            self.filled += 1;
+        }
+        self.hash = self.hash.wrapping_mul(MULT).wrapping_add(byte as u64 + 1);
+        self.buf[self.head] = byte;
+        self.head = (self.head + 1) % self.window;
+    }
+
+    /// The hash of the current window contents.
+    pub fn value(&self) -> u64 {
+        self.hash
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        self.head = 0;
+        self.filled = 0;
+        self.hash = 0;
+    }
+}
+
+/// Iterates `(offset, hash)` for every full window position in `data`.
+pub fn scan_windows(data: &[u8], window: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+    let mut roll = RollingHash::new(window);
+    let mut idx = 0usize;
+    std::iter::from_fn(move || loop {
+        if idx >= data.len() {
+            return None;
+        }
+        roll.push(data[idx]);
+        idx += 1;
+        if roll.is_full() {
+            return Some((idx - window, roll.value()));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_matches_direct_everywhere() {
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 7 % 256) as u8).collect();
+        for window in [1, 2, 8, 64] {
+            for (off, h) in scan_windows(&data, window) {
+                assert_eq!(
+                    h,
+                    RollingHash::hash_of(&data[off..off + window]),
+                    "window {window} offset {off}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_window_count() {
+        let data = vec![0u8; 100];
+        assert_eq!(scan_windows(&data, 64).count(), 100 - 64 + 1);
+        assert_eq!(scan_windows(&data, 101).count(), 0);
+    }
+
+    #[test]
+    fn equal_windows_equal_hashes() {
+        let a = b"deadbeefdeadbeef";
+        let b = b"XXdeadbeefdeadbeefXX";
+        let ha: Vec<u64> = scan_windows(a, 8).map(|(_, h)| h).collect();
+        let hb: Vec<u64> = scan_windows(b, 8).map(|(_, h)| h).collect();
+        // The window starting at b[2] equals the window at a[0].
+        assert_eq!(hb[2], ha[0]);
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut r = RollingHash::new(4);
+        for b in b"abcd" {
+            r.push(*b);
+        }
+        let v = r.value();
+        r.reset();
+        assert!(!r.is_full());
+        for b in b"abcd" {
+            r.push(*b);
+        }
+        assert_eq!(r.value(), v);
+    }
+
+    #[test]
+    fn single_byte_window() {
+        let mut r = RollingHash::new(1);
+        r.push(b'x');
+        assert_eq!(r.value(), RollingHash::hash_of(b"x"));
+        r.push(b'y');
+        assert_eq!(r.value(), RollingHash::hash_of(b"y"));
+    }
+}

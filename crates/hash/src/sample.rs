@@ -1,0 +1,292 @@
+//! Value-sampled page fingerprints (paper §4.1.2).
+//!
+//! For every 4 KiB page under consideration, the dedup agent conducts a
+//! single linear scan with a rolling 64 B window and selects a chunk as a
+//! fingerprint candidate when its **last two bytes match a fixed
+//! pattern**. The unordered set of (at most) `cardinality` selected chunk
+//! hashes is the page's fingerprint. Sampling *by value* (rather than by
+//! position) makes the fingerprint robust to insertions/shifts in the
+//! page — the property that lets Medes match similar-but-not-identical
+//! pages, unlike Difference Engine's random-offset fingerprints.
+//!
+//! When more than `cardinality` positions match, we keep the chunks with
+//! the numerically smallest hashes. This "bottom-k" rule is content-
+//! defined (independent of position), so two similar pages select the
+//! same surviving chunks with high probability.
+
+use crate::{chunk_hash, ChunkHash};
+
+/// The value-sampling pattern: a chunk is selected when
+/// `last_two_bytes & mask == pattern`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplePattern {
+    /// Bits of the trailing 16-bit word that participate in the match.
+    pub mask: u16,
+    /// Required value of the masked bits.
+    pub pattern: u16,
+}
+
+impl SamplePattern {
+    /// The default pattern: 8 low bits must equal `0x5A`, i.e. an
+    /// expected one match per 256 window positions (≈ 15 candidates per
+    /// 4 KiB page — comfortably above the default cardinality of 5).
+    pub const DEFAULT: SamplePattern = SamplePattern {
+        mask: 0x00FF,
+        pattern: 0x005A,
+    };
+
+    /// Whether the 2-byte value matches.
+    #[inline]
+    pub fn matches(&self, last_two: u16) -> bool {
+        last_two & self.mask == self.pattern
+    }
+
+    /// Expected fraction of window positions selected.
+    pub fn selectivity(&self) -> f64 {
+        1.0 / (1u32 << self.mask.count_ones()) as f64
+    }
+}
+
+impl Default for SamplePattern {
+    fn default() -> Self {
+        SamplePattern::DEFAULT
+    }
+}
+
+/// One sampled chunk: where it starts in the page, and its hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledChunk {
+    /// Byte offset of the chunk within the page.
+    pub offset: u32,
+    /// SHA-1-derived 64-bit chunk hash.
+    pub hash: ChunkHash,
+}
+
+/// A page fingerprint: the unordered set of sampled chunk hashes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageFingerprint {
+    chunks: Vec<SampledChunk>,
+}
+
+impl PageFingerprint {
+    /// The sampled chunks (sorted by hash value, ascending).
+    pub fn chunks(&self) -> &[SampledChunk] {
+        &self.chunks
+    }
+
+    /// Number of sampled chunks (≤ configured cardinality).
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the scan selected no chunks at all (rare; such pages fall
+    /// back to being stored verbatim).
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Number of chunk hashes shared with another fingerprint — the
+    /// similarity estimate used for base-page election.
+    pub fn overlap(&self, other: &PageFingerprint) -> usize {
+        // Both sides are sorted by hash: merge-count.
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            match self.chunks[i].hash.cmp(&other.chunks[j].hash) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Configuration for fingerprint extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintConfig {
+    /// RSC size in bytes (64 in the paper).
+    pub chunk_size: usize,
+    /// Maximum number of sampled chunks per page (5 in the paper;
+    /// §7.8 sweeps 5/10/20).
+    pub cardinality: usize,
+    /// The value-sampling pattern.
+    pub pattern: SamplePattern,
+}
+
+impl Default for FingerprintConfig {
+    fn default() -> Self {
+        FingerprintConfig {
+            chunk_size: 64,
+            cardinality: 5,
+            pattern: SamplePattern::DEFAULT,
+        }
+    }
+}
+
+/// Extracts the value-sampled fingerprint of `page`.
+///
+/// Single linear scan; the only per-position work is a two-byte load and
+/// masked compare, exactly as the paper describes ("computationally
+/// lightweight... a single linear scan and a lightweight equality check
+/// over two bytes"). SHA-1 is computed only for the selected chunks.
+/// Selected chunks never overlap (the scan skips `chunk_size` after a
+/// hit) so a single repeated byte run cannot dominate the fingerprint.
+pub fn page_fingerprint(page: &[u8], cfg: &FingerprintConfig) -> PageFingerprint {
+    let w = cfg.chunk_size;
+    if page.len() < w || w < 2 || cfg.cardinality == 0 {
+        return PageFingerprint::default();
+    }
+    let mut selected: Vec<SampledChunk> = Vec::with_capacity(cfg.cardinality * 4);
+    let mut off = 0usize;
+    while off + w <= page.len() {
+        let last_two = u16::from_le_bytes([page[off + w - 2], page[off + w - 1]]);
+        if cfg.pattern.matches(last_two) {
+            selected.push(SampledChunk {
+                offset: off as u32,
+                hash: chunk_hash(&page[off..off + w]),
+            });
+            off += w; // non-overlapping selections
+        } else {
+            off += 1;
+        }
+    }
+    // Bottom-k by hash: content-defined survivor selection.
+    selected.sort_unstable_by_key(|c| (c.hash, c.offset));
+    selected.truncate(cfg.cardinality);
+    selected.dedup_by_key(|c| c.hash);
+    PageFingerprint { chunks: selected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with_markers(len: usize, marker_offsets: &[usize]) -> Vec<u8> {
+        // Position-dependent filler (so planted chunks differ in content)
+        // that can never match DEFAULT accidentally: DEFAULT requires the
+        // low byte 0x5A (= 90), and values mod 89 never reach 90.
+        let mut p = vec![0u8; len];
+        for (i, b) in p.iter_mut().enumerate() {
+            *b = ((i * 131) % 89) as u8;
+        }
+        for &off in marker_offsets {
+            // Plant the pattern at the *end* of the chunk starting at off.
+            p[off + 62] = 0x5A;
+            p[off + 63] = 0x00;
+        }
+        p
+    }
+
+    #[test]
+    fn selects_planted_chunks() {
+        let cfg = FingerprintConfig::default();
+        let page = page_with_markers(4096, &[100, 900, 2000]);
+        let fp = page_fingerprint(&page, &cfg);
+        let mut offsets: Vec<u32> = fp.chunks().iter().map(|c| c.offset).collect();
+        offsets.sort_unstable();
+        assert_eq!(offsets, vec![100, 900, 2000]);
+    }
+
+    #[test]
+    fn respects_cardinality() {
+        let cfg = FingerprintConfig {
+            cardinality: 2,
+            ..Default::default()
+        };
+        let page = page_with_markers(4096, &[0, 200, 400, 600, 800, 1000]);
+        let fp = page_fingerprint(&page, &cfg);
+        assert_eq!(fp.len(), 2);
+    }
+
+    #[test]
+    fn identical_pages_identical_fingerprints() {
+        let cfg = FingerprintConfig::default();
+        let mut rng = 1234567u64;
+        let mut page = vec![0u8; 4096];
+        for b in &mut page {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (rng >> 56) as u8;
+        }
+        let a = page_fingerprint(&page, &cfg);
+        let b = page_fingerprint(&page, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.overlap(&b), a.len());
+    }
+
+    #[test]
+    fn similar_pages_share_most_chunks() {
+        let cfg = FingerprintConfig::default();
+        let mut rng = 42u64;
+        let mut page = vec![0u8; 4096];
+        for b in &mut page {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (rng >> 56) as u8;
+        }
+        let a = page_fingerprint(&page, &cfg);
+        // Flip a handful of bytes in one corner of the page.
+        let mut page2 = page.clone();
+        for b in &mut page2[3000..3010] {
+            *b ^= 0xFF;
+        }
+        let b = page_fingerprint(&page2, &cfg);
+        assert!(
+            a.overlap(&b) >= a.len().saturating_sub(1).max(1),
+            "overlap {} of {}",
+            a.overlap(&b),
+            a.len()
+        );
+    }
+
+    #[test]
+    fn random_pages_rarely_collide() {
+        let cfg = FingerprintConfig::default();
+        let mut rng = 7u64;
+        let mut gen_page = || {
+            let mut page = vec![0u8; 4096];
+            for b in &mut page {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (rng >> 56) as u8;
+            }
+            page
+        };
+        let a = page_fingerprint(&gen_page(), &cfg);
+        let b = page_fingerprint(&gen_page(), &cfg);
+        assert_eq!(a.overlap(&b), 0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let cfg = FingerprintConfig::default();
+        assert!(page_fingerprint(&[], &cfg).is_empty());
+        assert!(page_fingerprint(&[0u8; 10], &cfg).is_empty());
+        let zero_card = FingerprintConfig {
+            cardinality: 0,
+            ..Default::default()
+        };
+        assert!(page_fingerprint(&[0u8; 4096], &zero_card).is_empty());
+    }
+
+    #[test]
+    fn uniform_page_yields_single_chunk() {
+        // An all-0x5A page matches everywhere, but selections do not
+        // overlap and identical chunks dedup to one hash.
+        let cfg = FingerprintConfig::default();
+        let page = vec![0x5Au8; 4096];
+        let fp = page_fingerprint(&page, &cfg);
+        assert_eq!(fp.len(), 1, "identical chunks must dedup");
+    }
+
+    #[test]
+    fn selectivity_math() {
+        assert!((SamplePattern::DEFAULT.selectivity() - 1.0 / 256.0).abs() < 1e-12);
+        let p = SamplePattern {
+            mask: 0x01FF,
+            pattern: 0,
+        };
+        assert!((p.selectivity() - 1.0 / 512.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,479 @@
+//! Building and addressing sandbox memory images.
+//!
+//! [`ImageBuilder`] turns a [`FunctionSpec`] into a concrete
+//! [`MemoryImage`] for a given instance seed. Images are pure functions
+//! of `(spec, model, aslr, scale, instance_seed)`, so the platform can
+//! regenerate a warm sandbox's bytes on demand instead of holding them.
+//!
+//! ## Scale
+//!
+//! `scale_denom` divides every region size: at the default cluster-scale
+//! setting of 64, a 90 MiB sandbox materializes 1.4 MiB of real bytes.
+//! The dedup pipeline operates on the model-scale bytes; the platform
+//! multiplies page counts back up for paper-scale accounting.
+
+use crate::aslr::{rotate_content, AslrConfig};
+use crate::content::{mix_seed, ContentModel, TileKind};
+use crate::page::{page_align, PAGE_SIZE};
+use crate::region::{Region, RegionKind};
+use crate::spec::{FunctionSpec, LibraryId};
+
+const LAYOUT_SALT: u64 = 0x1A_0001;
+const CANON_SALT: u64 = 0x1A_0002;
+const HEAP_SALT: u64 = 0x1A_0003;
+const STACK_SALT: u64 = 0x1A_0004;
+const FILEMAP_SALT: u64 = 0x1A_0005;
+
+/// Builds [`MemoryImage`]s for one function.
+#[derive(Debug, Clone)]
+pub struct ImageBuilder {
+    spec: FunctionSpec,
+    model: ContentModel,
+    aslr: AslrConfig,
+    scale_denom: usize,
+}
+
+impl ImageBuilder {
+    /// Creates a builder with the default content model, ASLR disabled,
+    /// and no scaling.
+    pub fn new(spec: FunctionSpec) -> Self {
+        ImageBuilder {
+            spec,
+            model: ContentModel::default(),
+            aslr: AslrConfig::DISABLED,
+            scale_denom: 1,
+        }
+    }
+
+    /// Replaces the content model.
+    pub fn with_model(mut self, model: ContentModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the ASLR configuration.
+    pub fn with_aslr(mut self, aslr: AslrConfig) -> Self {
+        self.aslr = aslr;
+        self
+    }
+
+    /// Divides every region size by `denom` (≥ 1).
+    pub fn with_scale(mut self, denom: usize) -> Self {
+        self.scale_denom = denom.max(1);
+        self
+    }
+
+    /// The function spec this builder materializes.
+    pub fn spec(&self) -> &FunctionSpec {
+        &self.spec
+    }
+
+    /// The scale denominator.
+    pub fn scale_denom(&self) -> usize {
+        self.scale_denom
+    }
+
+    fn scaled(&self, paper_bytes: usize) -> usize {
+        page_align((paper_bytes / self.scale_denom).max(self.model.tile_size))
+    }
+
+    /// Materializes the image for `instance_seed`.
+    pub fn build(&self, instance_seed: u64) -> MemoryImage {
+        let mut regions = Vec::new();
+
+        // Runtime + libraries: shared streams keyed by library identity.
+        let runtime = LibraryId::new("python-runtime");
+        for lib in std::iter::once(&runtime).chain(self.spec.libs.iter()) {
+            let kind = if lib.0 == "python-runtime" {
+                RegionKind::Runtime
+            } else {
+                RegionKind::Library
+            };
+            let stream = lib.seed();
+            let size = self.scaled(lib.catalog_bytes());
+            regions.push(self.build_region(
+                kind,
+                &lib.0,
+                stream,
+                canonical_base(stream),
+                size,
+                instance_seed,
+                Layout::Direct,
+            ));
+        }
+
+        // Anonymous memory: file mappings, heap, stack.
+        let anon = self.spec.anon_bytes();
+        let stack_paper = (anon / 10).min(256 << 10).max(PAGE_SIZE);
+        let filemap_paper = anon * 15 / 100;
+        let heap_paper = anon
+            .saturating_sub(stack_paper + filemap_paper)
+            .max(PAGE_SIZE);
+
+        let fm_stream = mix_seed(self.spec.seed(), FILEMAP_SALT);
+        regions.push(self.build_region(
+            RegionKind::FileMap,
+            "filemap",
+            fm_stream,
+            canonical_base(fm_stream),
+            self.scaled(filemap_paper),
+            instance_seed,
+            Layout::Direct,
+        ));
+
+        let heap_stream = mix_seed(self.spec.seed(), HEAP_SALT);
+        regions.push(self.build_region(
+            RegionKind::Heap,
+            "heap",
+            heap_stream,
+            canonical_base(heap_stream),
+            self.scaled(heap_paper),
+            instance_seed,
+            Layout::Jittered,
+        ));
+
+        let stack_stream = mix_seed(self.spec.seed(), STACK_SALT);
+        let mut stack = self.build_region(
+            RegionKind::Stack,
+            "stack",
+            stack_stream,
+            canonical_base(stack_stream),
+            self.scaled(stack_paper),
+            instance_seed,
+            Layout::Direct,
+        );
+        let shift = self.aslr.stack_shift(stack_stream, instance_seed);
+        rotate_content(&mut stack.data, shift);
+        regions.push(stack);
+
+        MemoryImage::new(regions)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_region(
+        &self,
+        kind: RegionKind,
+        name: &str,
+        stream_seed: u64,
+        canonical_base: u64,
+        size: usize,
+        instance_seed: u64,
+        layout: Layout,
+    ) -> Region {
+        let m = &self.model;
+        let va_base = self
+            .aslr
+            .region_base(canonical_base, stream_seed, instance_seed);
+        let n_tiles = size / m.tile_size;
+        let mut data = vec![0u8; size];
+
+        // Tile index sequence: direct, or per-instance jittered (heap).
+        // Heap jitter is page-granular: big allocations are mmap-backed,
+        // so allocation-order divergence inserts/skips whole pages —
+        // shifting content by page multiples without breaking chunk
+        // alignment inside pages (what the §2 measurement observes).
+        let tiles_per_page = PAGE_SIZE / m.tile_size;
+        let mut jitter =
+            JitterRng::new(mix_seed(stream_seed, mix_seed(instance_seed, LAYOUT_SALT)));
+        let mut seq: Vec<(u64, bool)> = Vec::with_capacity(n_tiles);
+        match layout {
+            Layout::Direct => seq.extend((0..n_tiles as u64).map(|i| (i, false))),
+            Layout::Jittered => {
+                let mut shared_page = 0u64;
+                let mut own_page = 0u64;
+                while seq.len() < n_tiles {
+                    let u = jitter.next_f64();
+                    if u < m.heap_insert_prob {
+                        // Inserted instance-unique allocation (one page).
+                        for t in 0..tiles_per_page as u64 {
+                            seq.push(((1u64 << 40) + own_page * tiles_per_page as u64 + t, true));
+                        }
+                    } else {
+                        if u < m.heap_insert_prob + m.heap_skip_prob {
+                            shared_page += 1; // this instance skipped a page
+                        }
+                        for t in 0..tiles_per_page as u64 {
+                            seq.push((shared_page * tiles_per_page as u64 + t, false));
+                        }
+                        shared_page += 1;
+                    }
+                    own_page += 1;
+                }
+                seq.truncate(n_tiles);
+            }
+        }
+        for (slot, &(tile_idx, forced_unique)) in seq.iter().enumerate() {
+            // Unique tiles only make sense in writable anonymous memory;
+            // file-backed regions are byte-identical in every process.
+            let allow_unique = matches!(kind, RegionKind::Heap | RegionKind::Stack);
+            let tk = if forced_unique {
+                TileKind::Unique
+            } else {
+                m.tile_kind_for(stream_seed, tile_idx, allow_unique)
+            };
+            let out = &mut data[slot * m.tile_size..(slot + 1) * m.tile_size];
+            m.fill_tile(
+                out,
+                tk,
+                stream_seed,
+                tile_idx,
+                instance_seed,
+                va_base,
+                size as u64,
+            );
+        }
+
+        m.apply_noise(&mut data, stream_seed, instance_seed);
+
+        Region {
+            kind,
+            name: name.to_string(),
+            va_base,
+            data,
+        }
+    }
+}
+
+/// How tile indices map to slots within a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// Slot `i` holds tile `i` — file-backed mappings, identical layout
+    /// across instances.
+    Direct,
+    /// Per-instance insert/skip jitter — heap allocation-order
+    /// divergence, which breaks page alignment across instances.
+    Jittered,
+}
+
+/// Heap layout jitter needs only uniform draws; a tiny dedicated LCG-ish
+/// stream keeps `DetRng` allocations out of the hot loop.
+struct JitterRng(u64);
+
+impl JitterRng {
+    fn new(seed: u64) -> Self {
+        JitterRng(seed | 1)
+    }
+    fn next_f64(&mut self) -> f64 {
+        self.0 = mix_seed(self.0, 0x9E37);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn canonical_base(stream_seed: u64) -> u64 {
+    // Spread canonical bases through a 47-bit user-space range,
+    // page-aligned, deterministic per stream.
+    0x5000_0000_0000 + (mix_seed(stream_seed, CANON_SALT) % (1 << 30)) * PAGE_SIZE as u64
+}
+
+/// A materialized sandbox memory image.
+#[derive(Debug, Clone)]
+pub struct MemoryImage {
+    regions: Vec<Region>,
+    /// Cumulative page counts: `page_prefix[i]` = pages before region i.
+    page_prefix: Vec<usize>,
+    total_pages: usize,
+}
+
+impl MemoryImage {
+    /// Wraps a list of regions (each page-aligned).
+    pub fn new(regions: Vec<Region>) -> Self {
+        let mut page_prefix = Vec::with_capacity(regions.len());
+        let mut total = 0usize;
+        for r in &regions {
+            debug_assert_eq!(r.data.len() % PAGE_SIZE, 0, "regions must be page-aligned");
+            page_prefix.push(total);
+            total += r.page_count();
+        }
+        MemoryImage {
+            regions,
+            page_prefix,
+            total_pages: total,
+        }
+    }
+
+    /// The regions, in address order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total bytes of content.
+    pub fn total_bytes(&self) -> usize {
+        self.total_pages * PAGE_SIZE
+    }
+
+    /// Total pages.
+    pub fn page_count(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Borrows global page `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= page_count()`.
+    pub fn page(&self, i: usize) -> &[u8] {
+        let (r, local) = self.locate(i);
+        self.regions[r].page(local)
+    }
+
+    /// Maps a global page index to `(region_index, local_page_index)`.
+    pub fn locate(&self, page: usize) -> (usize, usize) {
+        assert!(page < self.total_pages, "page {page} out of range");
+        let r = match self.page_prefix.binary_search(&page) {
+            Ok(exact) => {
+                // May be the start of an empty region; walk to the one
+                // that actually contains pages.
+                let mut i = exact;
+                while self.regions[i].page_count() == 0 {
+                    i += 1;
+                }
+                i
+            }
+            Err(ins) => ins - 1,
+        };
+        (r, page - self.page_prefix[r])
+    }
+
+    /// Iterates `(page_index, page_bytes)` over the whole image.
+    pub fn pages(&self) -> impl Iterator<Item = (usize, &[u8])> + '_ {
+        let mut idx = 0usize;
+        self.regions.iter().flat_map(move |r| {
+            let base = idx;
+            idx += r.page_count();
+            (0..r.page_count()).map(move |i| (base + i, r.page(i)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FunctionSpec {
+        // 16 MiB total: ~6.5 MiB runtime+json, ~9.5 MiB anonymous, so
+        // both file-backed and heap behaviours are exercised.
+        FunctionSpec::new("TestFn", 16 << 20, &["json"])
+    }
+
+    fn builder() -> ImageBuilder {
+        ImageBuilder::new(spec()).with_scale(16)
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let b = builder();
+        let a = b.build(7);
+        let c = b.build(7);
+        assert_eq!(a.page_count(), c.page_count());
+        for i in 0..a.page_count() {
+            assert_eq!(a.page(i), c.page(i), "page {i}");
+        }
+    }
+
+    #[test]
+    fn instances_differ_but_share_most_content() {
+        let b = builder();
+        let a = b.build(1);
+        let c = b.build(2);
+        assert_eq!(a.page_count(), c.page_count());
+        let mut identical_pages = 0usize;
+        for i in 0..a.page_count() {
+            if a.page(i) == c.page(i) {
+                identical_pages += 1;
+            }
+        }
+        assert!(identical_pages > 0, "library pages should match exactly");
+        assert!(
+            identical_pages < a.page_count(),
+            "heap/unique pages should differ"
+        );
+    }
+
+    #[test]
+    fn has_expected_regions() {
+        let img = builder().build(3);
+        let kinds: Vec<RegionKind> = img.regions().iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&RegionKind::Runtime));
+        assert!(kinds.contains(&RegionKind::Library));
+        assert!(kinds.contains(&RegionKind::FileMap));
+        assert!(kinds.contains(&RegionKind::Heap));
+        assert!(kinds.contains(&RegionKind::Stack));
+    }
+
+    #[test]
+    fn page_addressing_consistent() {
+        let img = builder().build(4);
+        let total = img.page_count();
+        assert_eq!(img.total_bytes(), total * PAGE_SIZE);
+        let mut seen = 0usize;
+        for (i, page) in img.pages() {
+            assert_eq!(i, seen);
+            assert_eq!(page, img.page(i));
+            seen += 1;
+        }
+        assert_eq!(seen, total);
+    }
+
+    #[test]
+    fn library_regions_shared_across_functions() {
+        let m = ContentModel {
+            noise_rate: 0.0, // isolate the layout effect
+            ..ContentModel::default()
+        };
+        let f1 = ImageBuilder::new(FunctionSpec::new("F1", 4 << 20, &["numpy"]))
+            .with_scale(16)
+            .with_model(m.clone());
+        let f2 = ImageBuilder::new(FunctionSpec::new("F2", 6 << 20, &["numpy"]))
+            .with_scale(16)
+            .with_model(m);
+        let i1 = f1.build(10);
+        let i2 = f2.build(20);
+        let numpy1 = i1.regions().iter().find(|r| r.name == "numpy").unwrap();
+        let numpy2 = i2.regions().iter().find(|r| r.name == "numpy").unwrap();
+        assert_eq!(numpy1.data, numpy2.data, "shared library bytes must match");
+    }
+
+    #[test]
+    fn aslr_changes_pointers_not_layout() {
+        let b_off = builder();
+        let b_on = builder().with_aslr(AslrConfig::LINUX);
+        let off = b_off.build(5);
+        let on = b_on.build(5);
+        assert_eq!(off.page_count(), on.page_count());
+        // At the byte level only pointer words and the stack rotation
+        // may differ — that is what keeps the ASLR redundancy drop small
+        // (Fig 1b).
+        let mut diff_bytes = 0usize;
+        for i in 0..off.page_count() {
+            diff_bytes += off
+                .page(i)
+                .iter()
+                .zip(on.page(i))
+                .filter(|(a, b)| a != b)
+                .count();
+        }
+        let frac = diff_bytes as f64 / off.total_bytes() as f64;
+        assert!(frac > 0.0, "ASLR must change something");
+        assert!(frac < 0.10, "ASLR changed {:.1}% of bytes", frac * 100.0);
+    }
+
+    #[test]
+    fn scale_reduces_size_proportionally() {
+        let s1 = ImageBuilder::new(spec())
+            .with_scale(1)
+            .build(1)
+            .total_bytes();
+        let s16 = ImageBuilder::new(spec())
+            .with_scale(16)
+            .build(1)
+            .total_bytes();
+        let ratio = s1 as f64 / s16 as f64;
+        assert!((8.0..24.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_out_of_range_panics() {
+        let img = builder().build(1);
+        let _ = img.page(img.page_count());
+    }
+}

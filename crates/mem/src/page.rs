@@ -1,0 +1,30 @@
+//! Page constants and helpers.
+
+/// Page size: 4 KiB, matching x86-64 and the paper's elimination
+/// granularity (§4.1.2).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Rounds a byte count up to a whole number of pages.
+pub fn pages_for(bytes: usize) -> usize {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+/// Rounds a byte count up to a page boundary.
+pub fn page_align(bytes: usize) -> usize {
+    pages_for(bytes) * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_math() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
+        assert_eq!(page_align(5000), 8192);
+        assert_eq!(page_align(4096), 4096);
+    }
+}

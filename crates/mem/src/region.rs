@@ -1,0 +1,59 @@
+//! Memory regions: the VMAs of a sandbox image.
+
+/// What a region maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// The language runtime (CPython) — shared by every sandbox.
+    Runtime,
+    /// A shared library — shared by every sandbox importing it.
+    Library,
+    /// File-backed mappings of the function's own code/data.
+    FileMap,
+    /// Anonymous heap memory. Layout (tile order) diverges per instance.
+    Heap,
+    /// The stack. Content is shifted at 16 B granularity under ASLR.
+    Stack,
+}
+
+/// A materialized region: metadata plus page-aligned content bytes.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// What the region maps.
+    pub kind: RegionKind,
+    /// Human-readable name (library name, `"heap"`, ...).
+    pub name: String,
+    /// Virtual base address (instance-specific under ASLR).
+    pub va_base: u64,
+    /// Content; length is always a multiple of [`crate::PAGE_SIZE`].
+    pub data: Vec<u8>,
+}
+
+impl Region {
+    /// Number of pages in the region.
+    pub fn page_count(&self) -> usize {
+        self.data.len() / crate::page::PAGE_SIZE
+    }
+
+    /// Borrow page `i` of the region.
+    pub fn page(&self, i: usize) -> &[u8] {
+        let p = crate::page::PAGE_SIZE;
+        &self.data[i * p..(i + 1) * p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_access() {
+        let r = Region {
+            kind: RegionKind::Heap,
+            name: "heap".into(),
+            va_base: 0x7000_0000,
+            data: vec![3u8; 2 * crate::page::PAGE_SIZE],
+        };
+        assert_eq!(r.page_count(), 2);
+        assert_eq!(r.page(1).len(), crate::page::PAGE_SIZE);
+    }
+}

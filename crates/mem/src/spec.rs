@@ -1,0 +1,140 @@
+//! Function memory specifications and the library catalog.
+//!
+//! A [`FunctionSpec`] describes *what* lives in a sandbox's memory: the
+//! language runtime, the libraries the function imports (Table 1 of the
+//! paper), and how much anonymous (heap) memory the function touches.
+//! The builder in [`crate::image`] turns a spec plus an instance seed
+//! into concrete bytes.
+
+use medes_sim::rng::seed_from_bytes;
+
+/// Identifies a shared library (or the language runtime) by name.
+///
+/// Two functions that import the same library get byte-identical library
+/// regions (modulo ASLR pointers), which is the source of cross-function
+/// redundancy the paper exploits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LibraryId(pub String);
+
+impl LibraryId {
+    /// Creates a library id from a name.
+    pub fn new(name: &str) -> Self {
+        LibraryId(name.to_string())
+    }
+
+    /// Stable content seed for this library.
+    pub fn seed(&self) -> u64 {
+        seed_from_bytes(self.0.as_bytes())
+    }
+
+    /// Footprint of the library's mapped code+data, in bytes, at paper
+    /// scale. Known libraries get sizes roughly proportional to their
+    /// real mapped footprints; unknown ones get a stable default.
+    pub fn catalog_bytes(&self) -> usize {
+        const MB: usize = 1 << 20;
+        match self.0.as_str() {
+            // The CPython runtime + stdlib that every sandbox maps.
+            "python-runtime" => 6 * MB,
+            "math" | "time" | "json" => MB / 2,
+            "multiprocessing" => MB,
+            "chameleon" => 2 * MB,
+            "pyaes" => MB,
+            "numpy" => 7 * MB,
+            "pillow" => 4 * MB,
+            "opencv" => 14 * MB,
+            "sklearn-tfidf" => 6 * MB,
+            "sklearn-lr" => 5 * MB,
+            "pandas" => 9 * MB,
+            "pytorch" => 28 * MB,
+            _ => 2 * MB,
+        }
+    }
+}
+
+/// A function's memory composition.
+#[derive(Debug, Clone)]
+pub struct FunctionSpec {
+    /// Function name (e.g. `"FeatureGen"`).
+    pub name: String,
+    /// Total resident memory at paper scale, in bytes (Table 2).
+    pub memory_bytes: usize,
+    /// Imported libraries. The python runtime is always included
+    /// implicitly by the builder.
+    pub libs: Vec<LibraryId>,
+}
+
+impl FunctionSpec {
+    /// Creates a spec. `memory_bytes` is the sandbox's total footprint;
+    /// the builder sizes the heap as whatever the runtime + libraries
+    /// leave over (at least one page).
+    pub fn new(name: &str, memory_bytes: usize, libs: &[&str]) -> Self {
+        FunctionSpec {
+            name: name.to_string(),
+            memory_bytes,
+            libs: libs.iter().map(|l| LibraryId::new(l)).collect(),
+        }
+    }
+
+    /// Stable seed for function-specific content streams (heap layout,
+    /// file mappings, stack).
+    pub fn seed(&self) -> u64 {
+        seed_from_bytes(self.name.as_bytes()) ^ 0xF00D_5EED_0000_0001
+    }
+
+    /// Total bytes mapped by the runtime and libraries, at paper scale.
+    pub fn library_bytes(&self) -> usize {
+        LibraryId::new("python-runtime").catalog_bytes()
+            + self.libs.iter().map(|l| l.catalog_bytes()).sum::<usize>()
+    }
+
+    /// Bytes left over for anonymous memory (heap + stack + mappings).
+    pub fn anon_bytes(&self) -> usize {
+        self.memory_bytes
+            .saturating_sub(self.library_bytes())
+            .max(crate::page::PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_seeds_stable_and_distinct() {
+        assert_eq!(
+            LibraryId::new("numpy").seed(),
+            LibraryId::new("numpy").seed()
+        );
+        assert_ne!(
+            LibraryId::new("numpy").seed(),
+            LibraryId::new("pandas").seed()
+        );
+    }
+
+    #[test]
+    fn catalog_known_and_unknown() {
+        assert_eq!(LibraryId::new("pytorch").catalog_bytes(), 28 << 20);
+        assert_eq!(LibraryId::new("some-lib").catalog_bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn spec_budgets() {
+        let spec = FunctionSpec::new("LinAlg", 32 << 20, &["numpy", "time"]);
+        // runtime 6MB + numpy 7MB + time 0.5MB = 13.5MB
+        assert_eq!(spec.library_bytes(), (13 << 20) + (1 << 19));
+        assert_eq!(spec.anon_bytes(), (32 << 20) - (13 << 20) - (1 << 19));
+    }
+
+    #[test]
+    fn anon_bytes_never_zero() {
+        let spec = FunctionSpec::new("Tiny", 1024, &["pytorch"]);
+        assert_eq!(spec.anon_bytes(), crate::page::PAGE_SIZE);
+    }
+
+    #[test]
+    fn function_seeds_distinct() {
+        let a = FunctionSpec::new("A", 1 << 20, &[]);
+        let b = FunctionSpec::new("B", 1 << 20, &[]);
+        assert_ne!(a.seed(), b.seed());
+    }
+}

@@ -1,0 +1,246 @@
+//! # medes-net — the cluster fabric model
+//!
+//! The evaluation testbed is a 20-node cluster with 10 Gb NICs on an
+//! RDMA network. Two communication patterns matter to Medes:
+//!
+//! * **one-sided RDMA reads** — the restore op fetches base pages
+//!   directly from remote memory without involving the remote CPU
+//!   (§4.2); latency is a few microseconds plus serialization time;
+//! * **RPCs to the controller** — fingerprint lookups during the dedup
+//!   op (off the critical path) and scheduling traffic.
+//!
+//! [`Fabric`] prices both deterministically from a [`NetConfig`]
+//! (propagation latency, per-op overhead, link bandwidth) and keeps
+//! transfer statistics for the overhead reports of §7.7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use medes_sim::SimDuration;
+
+/// Node identifier within the fabric.
+pub type NodeIdx = usize;
+
+/// Link and operation cost parameters.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// One-way propagation + switching latency between two nodes.
+    pub base_latency: SimDuration,
+    /// Fixed per-operation overhead of posting an RDMA verb.
+    pub rdma_op_overhead: SimDuration,
+    /// Link bandwidth in bytes per second (10 Gb/s ≈ 1.25 GB/s).
+    pub bandwidth_bps: f64,
+    /// Fixed cost of an RPC round trip above raw propagation
+    /// (serialization, dispatch, protocol buffers).
+    pub rpc_overhead: SimDuration,
+    /// Local (same-node) memory read bandwidth in bytes per second.
+    pub local_mem_bps: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            base_latency: SimDuration::from_micros(2),
+            rdma_op_overhead: SimDuration::from_micros(1),
+            bandwidth_bps: 1.25e9,
+            rpc_overhead: SimDuration::from_micros(30),
+            local_mem_bps: 8.0e9,
+        }
+    }
+}
+
+/// Cumulative transfer statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricStats {
+    /// Completed one-sided reads.
+    pub rdma_reads: u64,
+    /// Bytes moved by RDMA reads.
+    pub rdma_bytes: u64,
+    /// Completed RPC round trips.
+    pub rpcs: u64,
+    /// Bytes moved by RPCs (request + response).
+    pub rpc_bytes: u64,
+}
+
+/// The cluster fabric: prices operations between nodes.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    nodes: usize,
+    cfg: NetConfig,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates a fabric over `nodes` nodes.
+    pub fn new(nodes: usize, cfg: NetConfig) -> Self {
+        assert!(nodes > 0, "fabric needs at least one node");
+        Fabric {
+            nodes,
+            cfg,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Transfer statistics so far.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Cost of a one-sided RDMA read of `bytes` from `src` into `dst`.
+    ///
+    /// Same-node "reads" are local memory copies: no verbs, no wire.
+    pub fn rdma_read(&mut self, dst: NodeIdx, src: NodeIdx, bytes: usize) -> SimDuration {
+        self.check(dst);
+        self.check(src);
+        self.stats.rdma_reads += 1;
+        self.stats.rdma_bytes += bytes as u64;
+        if dst == src {
+            return SimDuration::from_secs_f64(bytes as f64 / self.cfg.local_mem_bps);
+        }
+        self.cfg.base_latency
+            + self.cfg.rdma_op_overhead
+            + SimDuration::from_secs_f64(bytes as f64 / self.cfg.bandwidth_bps)
+    }
+
+    /// Cost of a batch of RDMA reads to (possibly) many sources.
+    ///
+    /// Verbs to distinct sources are posted back to back and complete in
+    /// parallel; serialization happens on the receiver's link. The cost
+    /// model therefore charges one base latency plus the receiver-side
+    /// serialization of all remote bytes — which is what makes batched
+    /// base-page fetches far cheaper than sequential ones.
+    pub fn rdma_read_batch(&mut self, dst: NodeIdx, reads: &[(NodeIdx, usize)]) -> SimDuration {
+        self.check(dst);
+        let mut remote_bytes = 0usize;
+        let mut local_bytes = 0usize;
+        let mut ops = 0u64;
+        for &(src, bytes) in reads {
+            self.check(src);
+            if src == dst {
+                local_bytes += bytes;
+            } else {
+                remote_bytes += bytes;
+                ops += 1;
+            }
+            self.stats.rdma_reads += 1;
+            self.stats.rdma_bytes += bytes as u64;
+        }
+        let mut t = SimDuration::from_secs_f64(local_bytes as f64 / self.cfg.local_mem_bps);
+        if ops > 0 {
+            t += self.cfg.base_latency
+                + self.cfg.rdma_op_overhead.mul_f64(ops as f64)
+                + SimDuration::from_secs_f64(remote_bytes as f64 / self.cfg.bandwidth_bps);
+        }
+        t
+    }
+
+    /// Cost of an RPC round trip carrying `req_bytes` + `resp_bytes`.
+    pub fn rpc(
+        &mut self,
+        a: NodeIdx,
+        b: NodeIdx,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> SimDuration {
+        self.check(a);
+        self.check(b);
+        self.stats.rpcs += 1;
+        self.stats.rpc_bytes += (req_bytes + resp_bytes) as u64;
+        if a == b {
+            return self.cfg.rpc_overhead;
+        }
+        self.cfg.rpc_overhead
+            + self.cfg.base_latency.mul_f64(2.0)
+            + SimDuration::from_secs_f64((req_bytes + resp_bytes) as f64 / self.cfg.bandwidth_bps)
+    }
+
+    fn check(&self, n: NodeIdx) {
+        assert!(
+            n < self.nodes,
+            "node {n} out of range (fabric has {})",
+            self.nodes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::new(4, NetConfig::default())
+    }
+
+    #[test]
+    fn remote_read_costs_latency_plus_serialization() {
+        let mut f = fabric();
+        let t = f.rdma_read(0, 1, 4096);
+        // 2us + 1us + 4096/1.25e9 ≈ 3.3us -> ~6.3us total
+        let us = t.as_micros();
+        assert!((3..12).contains(&us), "remote 4KiB read {us}us");
+    }
+
+    #[test]
+    fn local_read_is_cheaper_than_remote() {
+        let mut f = fabric();
+        let local = f.rdma_read(2, 2, 4096);
+        let remote = f.rdma_read(2, 3, 4096);
+        assert!(local < remote);
+    }
+
+    #[test]
+    fn batch_is_cheaper_than_sequential() {
+        let reads: Vec<(NodeIdx, usize)> = (0..100).map(|i| (1 + i % 3, 4096)).collect();
+        let mut f1 = fabric();
+        let batched = f1.rdma_read_batch(0, &reads);
+        let mut f2 = fabric();
+        let sequential: SimDuration = reads.iter().map(|&(s, b)| f2.rdma_read(0, s, b)).sum();
+        assert!(
+            batched < sequential,
+            "batched {batched:?} vs {sequential:?}"
+        );
+        assert_eq!(f1.stats().rdma_reads, 100);
+        assert_eq!(f1.stats().rdma_bytes, 100 * 4096);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let mut f = fabric();
+        let t = f.rdma_read(0, 1, 125_000_000); // 125 MB at 1.25 GB/s = 100 ms
+        let ms = t.as_millis_f64();
+        assert!((95.0..110.0).contains(&ms), "large read {ms}ms");
+    }
+
+    #[test]
+    fn rpc_roundtrip_costs() {
+        let mut f = fabric();
+        let same = f.rpc(1, 1, 100, 100);
+        let cross = f.rpc(0, 1, 100, 100);
+        assert!(same < cross);
+        assert_eq!(f.stats().rpcs, 2);
+        assert_eq!(f.stats().rpc_bytes, 400);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut f = fabric();
+        assert_eq!(f.rdma_read_batch(0, &[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        let mut f = fabric();
+        let _ = f.rdma_read(0, 9, 64);
+    }
+}

@@ -1,0 +1,56 @@
+//! Fixed keep-alive — today's de-facto standard policy.
+
+use medes_sim::{SimDuration, SimTime};
+
+/// Interface shared by keep-alive baselines: observe request arrivals,
+/// answer "how long should an idle warm sandbox of function `f` stay?".
+pub trait KeepAlivePolicy {
+    /// Records a request arrival for `function` at `now`.
+    fn on_request(&mut self, function: usize, now: SimTime);
+
+    /// The keep-alive window for `function`'s idle warm sandboxes.
+    fn keep_alive(&self, function: usize) -> SimDuration;
+}
+
+/// Keep every idle warm sandbox for a fixed period (AWS Lambda,
+/// OpenFaaS, OpenWhisk). The paper uses 10 minutes, which its §7.5 sweep
+/// finds to be the best fixed setting on these workloads.
+#[derive(Debug, Clone)]
+pub struct FixedKeepAlive {
+    period: SimDuration,
+}
+
+impl FixedKeepAlive {
+    /// Creates the policy with the given window.
+    pub fn new(period: SimDuration) -> Self {
+        FixedKeepAlive { period }
+    }
+
+    /// The paper's default: 10 minutes.
+    pub fn paper_default() -> Self {
+        FixedKeepAlive::new(SimDuration::from_mins(10))
+    }
+}
+
+impl KeepAlivePolicy for FixedKeepAlive {
+    fn on_request(&mut self, _function: usize, _now: SimTime) {}
+
+    fn keep_alive(&self, _function: usize) -> SimDuration {
+        self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_window_is_constant() {
+        let mut p = FixedKeepAlive::paper_default();
+        assert_eq!(p.keep_alive(0), SimDuration::from_mins(10));
+        p.on_request(0, SimTime::from_secs(5));
+        p.on_request(0, SimTime::from_secs(500));
+        assert_eq!(p.keep_alive(0), SimDuration::from_mins(10));
+        assert_eq!(p.keep_alive(7), SimDuration::from_mins(10));
+    }
+}

@@ -1,0 +1,371 @@
+//! The Medes sandbox-management policy (paper §5).
+//!
+//! Per function, the policy decides how many of the `C` existing
+//! sandboxes should be warm (`W`) and how many deduplicated (`D`),
+//! subject to the platform constraints
+//!
+//! ```text
+//! (1)  W + D = C
+//! (2)  W/R_W + D/R_D ≥ λ_max          (load must be serviceable)
+//! ```
+//!
+//! where `R_W`/`R_D` are warm/dedup *reuse periods* (execution time plus
+//! startup time, §5.1). Memory usage and average startup latency are
+//!
+//! ```text
+//! M = W·m_W + D·(m_D + m_R)
+//! S = (W·s_W/R_W + D·s_D/R_D) / (W/R_W + D/R_D)
+//! ```
+//!
+//! Both are monotone in `D` once `W = C − D` is substituted, so each
+//! objective reduces to a one-dimensional linear program solved exactly
+//! by [`solve`]. Infeasible instances trigger the paper's fallback:
+//! deduplicate aggressively, keeping sandboxes warm only as far as the
+//! load requires (§5.2.3).
+
+use medes_sim::SimDuration;
+
+/// What the operator asked the platform to optimize (§5.2.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// P1: minimize memory subject to `S ≤ alpha · s_W`.
+    LatencyTarget {
+        /// Multiple of the warm-start latency to allow (> 1).
+        alpha: f64,
+    },
+    /// P2: minimize startup latency subject to `M ≤ budget_bytes`.
+    MemoryBudget {
+        /// The per-function memory budget, bytes.
+        budget_bytes: f64,
+    },
+}
+
+/// Knobs of the Medes policy (Fig 4b).
+#[derive(Debug, Clone)]
+pub struct MedesPolicyConfig {
+    /// The optimization objective.
+    pub objective: Objective,
+    /// Idle time after which a warm sandbox consults the policy.
+    pub idle_period: SimDuration,
+    /// How long a dedup sandbox is retained before purging.
+    pub keep_dedup: SimDuration,
+    /// Outer keep-alive bound on warm sandboxes.
+    pub keep_alive: SimDuration,
+    /// Base-sandbox demarcation threshold `T`: one more base sandbox is
+    /// demarcated when `D/B > T` (§4.1.3; the paper uses 40).
+    pub base_threshold: u32,
+}
+
+impl Default for MedesPolicyConfig {
+    fn default() -> Self {
+        MedesPolicyConfig {
+            objective: Objective::LatencyTarget { alpha: 2.5 },
+            idle_period: SimDuration::from_mins(1),
+            keep_dedup: SimDuration::from_mins(10),
+            keep_alive: SimDuration::from_mins(10),
+            base_threshold: 40,
+        }
+    }
+}
+
+/// Per-function measurements the controller feeds the optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionState {
+    /// Estimated peak arrival rate λ_max, requests/second.
+    pub arrival_rate: f64,
+    /// Mean execution time.
+    pub exec_time: SimDuration,
+    /// Warm startup latency s_W.
+    pub warm_start: SimDuration,
+    /// Dedup startup latency s_D (measured EWMA).
+    pub dedup_start: SimDuration,
+    /// Warm sandbox memory footprint m_W, bytes.
+    pub mem_warm: f64,
+    /// Dedup sandbox memory footprint m_D, bytes (patches + metadata).
+    pub mem_dedup: f64,
+    /// Transient restore overhead m_R, bytes.
+    pub mem_restore: f64,
+    /// Current sandboxes C (warm + dedup).
+    pub sandboxes: u32,
+}
+
+impl FunctionState {
+    /// Warm reuse period `R_W = exec + s_W` (§5.1).
+    pub fn reuse_warm(&self) -> f64 {
+        (self.exec_time + self.warm_start).as_secs_f64()
+    }
+
+    /// Dedup reuse period `R_D = exec + s_D`.
+    pub fn reuse_dedup(&self) -> f64 {
+        (self.exec_time + self.dedup_start).as_secs_f64()
+    }
+}
+
+/// The optimizer's answer for one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Target number of warm sandboxes.
+    pub target_warm: u32,
+    /// Target number of dedup sandboxes.
+    pub target_dedup: u32,
+    /// Whether the LP was feasible; `false` means the aggressive
+    /// fallback produced the targets.
+    pub feasible: bool,
+}
+
+/// Solves the per-function sandbox-split LP exactly.
+pub fn solve(cfg: &MedesPolicyConfig, s: &FunctionState) -> Decision {
+    let c = s.sandboxes as f64;
+    if s.sandboxes == 0 {
+        return Decision {
+            target_warm: 0,
+            target_dedup: 0,
+            feasible: true,
+        };
+    }
+    let rw = s.reuse_warm().max(1e-9);
+    let rd = s.reuse_dedup().max(rw);
+    let lambda = s.arrival_rate.max(0.0);
+
+    // Load constraint (2): C/R_W + D(1/R_D − 1/R_W) ≥ λ. The D
+    // coefficient is ≤ 0, so it caps D from above.
+    let coef = 1.0 / rd - 1.0 / rw; // ≤ 0
+    let d_load_max = if coef.abs() < 1e-12 {
+        if c / rw >= lambda {
+            c
+        } else {
+            -1.0
+        }
+    } else {
+        (lambda - c / rw) / coef // both numerator & coef ≤ 0 usually
+    };
+    // If even all-warm cannot serve λ, d_load_max < 0: infeasible.
+
+    match cfg.objective {
+        Objective::LatencyTarget { alpha } => {
+            // Minimize M: M is decreasing in D when m_D + m_R < m_W, so
+            // push D as high as latency (and load) allow.
+            let t = alpha * s.warm_start.as_secs_f64();
+            let a = (s.warm_start.as_secs_f64() - t) / rw;
+            let b = (s.dedup_start.as_secs_f64() - t) / rd - a;
+            let d_latency_max = if b <= 1e-12 {
+                c // latency constraint never binds
+            } else {
+                (-c * a / b).max(0.0)
+            };
+            let dedup_saves = s.mem_dedup + s.mem_restore < s.mem_warm;
+            let upper = d_latency_max.min(d_load_max).min(c);
+            if upper < 0.0 {
+                return aggressive(c, rw, rd, lambda);
+            }
+            let d = if dedup_saves { upper } else { 0.0 };
+            decision(c, d, true)
+        }
+        Objective::MemoryBudget { budget_bytes } => {
+            // Minimize S: S is increasing in D, so take the smallest D
+            // that satisfies the memory budget.
+            let unit_saving = s.mem_warm - (s.mem_dedup + s.mem_restore);
+            let all_warm_mem = c * s.mem_warm;
+            let d_mem_min = if all_warm_mem <= budget_bytes {
+                0.0
+            } else if unit_saving <= 1e-9 {
+                // Dedup cannot save memory: infeasible if over budget.
+                f64::INFINITY
+            } else {
+                (all_warm_mem - budget_bytes) / unit_saving
+            };
+            let upper = d_load_max.min(c);
+            if d_mem_min > upper {
+                return aggressive(c, rw, rd, lambda);
+            }
+            decision(c, d_mem_min.max(0.0), true)
+        }
+    }
+}
+
+/// The §5.2.3 fallback: deduplicate aggressively; keep only as many
+/// sandboxes warm as the request rate strictly needs.
+fn aggressive(c: f64, rw: f64, _rd: f64, lambda: f64) -> Decision {
+    let w_needed = (lambda * rw).ceil().min(c).max(0.0);
+    decision(c, c - w_needed, false)
+}
+
+fn decision(c: f64, d: f64, feasible: bool) -> Decision {
+    let d = d.clamp(0.0, c).floor() as u32;
+    Decision {
+        target_warm: c as u32 - d,
+        target_dedup: d,
+        feasible,
+    }
+}
+
+/// Divides a cluster-wide memory budget across functions in proportion
+/// to their average arrival rates (§5.3).
+pub fn divide_budget(total_bytes: f64, rates: &[f64]) -> Vec<f64> {
+    let sum: f64 = rates.iter().map(|r| r.max(0.0)).sum();
+    if sum <= 0.0 {
+        let share = total_bytes / rates.len().max(1) as f64;
+        return vec![share; rates.len()];
+    }
+    rates
+        .iter()
+        .map(|r| total_bytes * r.max(0.0) / sum)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> FunctionState {
+        FunctionState {
+            arrival_rate: 1.0,
+            exec_time: SimDuration::from_millis(500),
+            warm_start: SimDuration::from_millis(5),
+            dedup_start: SimDuration::from_millis(300),
+            mem_warm: 50e6,
+            mem_dedup: 15e6,
+            mem_restore: 5e6,
+            sandboxes: 10,
+        }
+    }
+
+    fn cfg(objective: Objective) -> MedesPolicyConfig {
+        MedesPolicyConfig {
+            objective,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tight_latency_target_bounds_dedup_near_zero() {
+        // α = 2.5 with s_W = 5 ms allows S up to 12.5 ms: almost no
+        // 300 ms dedup starts fit under that average.
+        let d = solve(&cfg(Objective::LatencyTarget { alpha: 2.5 }), &state());
+        assert!(d.feasible);
+        assert!(d.target_dedup <= 1, "tight α must bound dedup: {d:?}");
+        assert_eq!(d.target_warm + d.target_dedup, 10);
+    }
+
+    #[test]
+    fn moderate_latency_target_gives_partial_dedup() {
+        // α = 20 ⇒ S ≤ 100 ms: the closed form allows ~4 of 10 dedup
+        // sandboxes (a·C/b ≈ 4.3).
+        let d = solve(&cfg(Objective::LatencyTarget { alpha: 20.0 }), &state());
+        assert!(d.feasible);
+        assert!(
+            (3..=5).contains(&d.target_dedup),
+            "expected partial dedup: {d:?}"
+        );
+        assert_eq!(d.target_warm + d.target_dedup, 10);
+    }
+
+    #[test]
+    fn loose_latency_target_allows_all_dedup() {
+        // α huge: latency never binds; load is the only cap.
+        let mut s = state();
+        s.arrival_rate = 0.1; // trivial load
+        let d = solve(&cfg(Objective::LatencyTarget { alpha: 1000.0 }), &s);
+        assert!(d.feasible);
+        assert_eq!(d.target_dedup, 10);
+    }
+
+    #[test]
+    fn latency_solution_respects_load() {
+        // λ high enough that many warm sandboxes are needed.
+        let mut s = state();
+        s.arrival_rate = 15.0; // R_W ≈ 0.505 s ⇒ one warm serves ~2/s
+        let d = solve(&cfg(Objective::LatencyTarget { alpha: 1000.0 }), &s);
+        // W/R_W + D/R_D must meet λ.
+        let w = d.target_warm as f64 / s.reuse_warm();
+        let dd = d.target_dedup as f64 / s.reuse_dedup();
+        assert!(w + dd >= 15.0 - 1.0, "load not met: {} + {} vs 15", w, dd);
+    }
+
+    #[test]
+    fn infeasible_load_falls_back_to_aggressive() {
+        let mut s = state();
+        s.arrival_rate = 1000.0; // impossible with 10 sandboxes
+        let d = solve(&cfg(Objective::LatencyTarget { alpha: 2.0 }), &s);
+        assert!(!d.feasible);
+        // Aggressive fallback keeps everything warm (load needs it all).
+        assert_eq!(d.target_warm, 10);
+    }
+
+    #[test]
+    fn memory_budget_dedups_just_enough() {
+        // All-warm memory = 500 MB; budget 400 MB; each dedup saves
+        // 30 MB ⇒ need ceil(100/30) ≈ 4 dedups (3.33 floored by the
+        // integer decision to ≥ 3).
+        let d = solve(
+            &cfg(Objective::MemoryBudget {
+                budget_bytes: 400e6,
+            }),
+            &state(),
+        );
+        assert!(d.feasible);
+        assert!(
+            (3..=4).contains(&d.target_dedup),
+            "minimal dedup count: {d:?}"
+        );
+    }
+
+    #[test]
+    fn generous_budget_keeps_everything_warm() {
+        let d = solve(
+            &cfg(Objective::MemoryBudget { budget_bytes: 1e9 }),
+            &state(),
+        );
+        assert!(d.feasible);
+        assert_eq!(d.target_dedup, 0);
+        assert_eq!(d.target_warm, 10);
+    }
+
+    #[test]
+    fn impossible_budget_goes_aggressive() {
+        let d = solve(
+            &cfg(Objective::MemoryBudget { budget_bytes: 1e6 }),
+            &state(),
+        );
+        assert!(!d.feasible);
+        // λ·R_W ≈ 0.5 ⇒ keep 1 warm, dedup the rest.
+        assert_eq!(d.target_warm, 1);
+        assert_eq!(d.target_dedup, 9);
+    }
+
+    #[test]
+    fn zero_sandboxes_is_trivial() {
+        let mut s = state();
+        s.sandboxes = 0;
+        let d = solve(&cfg(Objective::LatencyTarget { alpha: 2.0 }), &s);
+        assert_eq!(d.target_warm, 0);
+        assert_eq!(d.target_dedup, 0);
+        assert!(d.feasible);
+    }
+
+    #[test]
+    fn dedup_that_saves_no_memory_is_skipped_under_p1() {
+        let mut s = state();
+        s.mem_dedup = 48e6;
+        s.mem_restore = 5e6; // m_D + m_R > m_W
+        let d = solve(&cfg(Objective::LatencyTarget { alpha: 100.0 }), &s);
+        assert!(d.feasible);
+        assert_eq!(d.target_dedup, 0, "dedup without savings is pointless");
+    }
+
+    #[test]
+    fn budget_division_proportional_to_rates() {
+        let shares = divide_budget(100.0, &[1.0, 3.0]);
+        assert!((shares[0] - 25.0).abs() < 1e-9);
+        assert!((shares[1] - 75.0).abs() < 1e-9);
+        let equal = divide_budget(100.0, &[0.0, 0.0]);
+        assert_eq!(equal, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn reuse_periods_follow_the_definition() {
+        let s = state();
+        assert!((s.reuse_warm() - 0.505).abs() < 1e-9);
+        assert!((s.reuse_dedup() - 0.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,270 @@
+//! The simulation driver loop.
+//!
+//! A [`World`] owns all mutable simulation state and reacts to events; the
+//! [`Simulation`] owns the clock and the event queue and repeatedly hands
+//! the earliest event to the world. Handlers schedule follow-up events
+//! through the [`Scheduler`] they are given, which keeps borrowing simple
+//! (the world never holds a reference to the queue).
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle through which event handlers schedule future events.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, E)>,
+}
+
+impl<E> Scheduler<E> {
+    fn new(now: SimTime) -> Self {
+        Scheduler {
+            now,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` from now.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedules `event` at an absolute instant (clamped to now if past).
+    pub fn at(&mut self, time: SimTime, event: E) {
+        let t = if time < self.now { self.now } else { time };
+        self.pending.push((t, event));
+    }
+
+    /// Schedules `event` to fire immediately (at the current instant,
+    /// after all events already queued for this instant).
+    pub fn immediately(&mut self, event: E) {
+        self.pending.push((self.now, event));
+    }
+}
+
+/// A simulation world: owns state, reacts to events.
+pub trait World {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one event at its scheduled time. Follow-up events are
+    /// scheduled via `sched`.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// The event loop: a clock plus an event queue over `W::Event`.
+///
+/// # Examples
+///
+/// ```
+/// use medes_sim::{Simulation, World, SimDuration, SimTime};
+/// use medes_sim::engine::Scheduler;
+///
+/// struct Counter { fired: u32 }
+/// impl World for Counter {
+///     type Event = u32;
+///     fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+///         self.fired += 1;
+///         if ev < 3 {
+///             sched.after(SimDuration::from_millis(10), ev + 1);
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Counter { fired: 0 });
+/// sim.schedule(SimTime::ZERO, 0);
+/// sim.run();
+/// assert_eq!(sim.world().fired, 4);
+/// assert_eq!(sim.now(), SimTime::from_millis(30));
+/// ```
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation at t = 0 with an empty queue.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an initial event.
+    pub fn schedule(&mut self, time: SimTime, event: W::Event) {
+        self.queue.push(time, event);
+    }
+
+    /// Current simulated time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for setup/teardown between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation and returns the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        self.processed += 1;
+        let mut sched = Scheduler::new(time);
+        self.world.handle(event, &mut sched);
+        for (t, e) in sched.pending {
+            self.queue.push(t, e);
+        }
+        true
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue drains or simulated time passes `deadline`.
+    ///
+    /// Events scheduled strictly after `deadline` are left in the queue.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    enum Ev {
+        Tick(u32),
+        Chain(u32),
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+            match ev {
+                Ev::Tick(n) => self.seen.push((sched.now(), n)),
+                Ev::Chain(n) => {
+                    self.seen.push((sched.now(), n));
+                    if n > 0 {
+                        sched.after(SimDuration::from_micros(100), Ev::Chain(n - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_processed_in_order() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.schedule(SimTime::from_micros(50), Ev::Tick(2));
+        sim.schedule(SimTime::from_micros(10), Ev::Tick(1));
+        sim.run();
+        let ids: Vec<u32> = sim.world().seen.iter().map(|&(_, n)| n).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(sim.processed(), 2);
+    }
+
+    #[test]
+    fn chained_scheduling_advances_clock() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.schedule(SimTime::ZERO, Ev::Chain(3));
+        sim.run();
+        assert_eq!(sim.world().seen.len(), 4);
+        assert_eq!(sim.now(), SimTime::from_micros(300));
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.schedule(SimTime::from_micros(10), Ev::Tick(1));
+        sim.schedule(SimTime::from_micros(1000), Ev::Tick(2));
+        sim.run_until(SimTime::from_micros(500));
+        assert_eq!(sim.world().seen.len(), 1);
+        sim.run();
+        assert_eq!(sim.world().seen.len(), 2);
+    }
+
+    #[test]
+    fn immediate_events_run_after_same_instant_fifo() {
+        struct W2 {
+            order: Vec<&'static str>,
+        }
+        impl World for W2 {
+            type Event = &'static str;
+            fn handle(&mut self, ev: &'static str, sched: &mut Scheduler<&'static str>) {
+                self.order.push(ev);
+                if ev == "first" {
+                    sched.immediately("injected");
+                }
+            }
+        }
+        let mut sim = Simulation::new(W2 { order: vec![] });
+        sim.schedule(SimTime::ZERO, "first");
+        sim.schedule(SimTime::ZERO, "second");
+        sim.run();
+        assert_eq!(sim.world().order, vec!["first", "second", "injected"]);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped() {
+        struct W3 {
+            times: Vec<SimTime>,
+        }
+        impl World for W3 {
+            type Event = bool;
+            fn handle(&mut self, first: bool, sched: &mut Scheduler<bool>) {
+                self.times.push(sched.now());
+                if first {
+                    sched.at(SimTime::ZERO, false); // in the past
+                }
+            }
+        }
+        let mut sim = Simulation::new(W3 { times: vec![] });
+        sim.schedule(SimTime::from_micros(42), true);
+        sim.run();
+        assert_eq!(
+            sim.world().times,
+            vec![SimTime::from_micros(42), SimTime::from_micros(42)]
+        );
+    }
+}

@@ -1,0 +1,475 @@
+//! Streaming statistics for the metrics pipeline.
+//!
+//! The evaluation reports means, medians, extreme percentiles (p99.9),
+//! CDFs, and time-weighted memory usage. These helpers cover all of
+//! those without pulling in a stats crate.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Welford-style streaming mean/variance with min/max tracking.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel sweeps).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentile tracker: stores all samples, sorts lazily.
+///
+/// The experiments record at most a few hundred thousand latency samples,
+/// so exact storage is cheap and avoids approximation artifacts in the
+/// p99.9 numbers the paper reports.
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), using nearest-rank
+    /// interpolation. Returns `None` if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Convenience: median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Returns `(value, cumulative_fraction)` pairs suitable for plotting
+    /// a CDF, downsampled to at most `points` points.
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let step = (n.max(points) / points).max(1);
+        let mut out = Vec::with_capacity(points + 1);
+        let mut i = 0;
+        while i < n {
+            out.push((self.samples[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(_, f)| f) != Some(1.0) {
+            out.push((self.samples[n - 1], 1.0));
+        }
+        out
+    }
+
+    /// All samples (unsorted order of insertion not preserved after a
+    /// quantile query).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Fixed-width histogram over `[0, width * bins)`, with an overflow
+/// bucket. Used by the adaptive keep-alive policy (idle-time histogram)
+/// and by reporting code.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` buckets of `width` each.
+    pub fn new(width: f64, bins: usize) -> Self {
+        assert!(width > 0.0 && bins > 0);
+        Histogram {
+            width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < 0.0 {
+            self.counts[0] += 1;
+            return;
+        }
+        let idx = (x / self.width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations that fell past the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper edge of the bucket containing the `q`-quantile, or `None` if
+    /// empty. Overflowed observations map to `None` bound (represented by
+    /// the histogram's full range).
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some((i + 1) as f64 * self.width);
+            }
+        }
+        Some(self.counts.len() as f64 * self.width)
+    }
+
+    /// Fraction of observations in the overflow bucket.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.total as f64
+        }
+    }
+
+    /// Decays all counts by a factor (used for aging policy histograms).
+    pub fn decay(&mut self, factor: f64) {
+        let factor = factor.clamp(0.0, 1.0);
+        let mut new_total = 0u64;
+        for c in &mut self.counts {
+            *c = (*c as f64 * factor) as u64;
+            new_total += *c;
+        }
+        self.overflow = (self.overflow as f64 * factor) as u64;
+        self.total = new_total + self.overflow;
+    }
+}
+
+/// A time-weighted scalar series: tracks the integral of a piecewise-
+/// constant signal (e.g. cluster memory usage) and produces its
+/// time-weighted mean plus sampled points for plotting.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    integral: f64,
+    started: bool,
+    samples: Vec<(SimTime, f64)>,
+    sample_every: SimDuration,
+    next_sample: SimTime,
+    values: Percentiles,
+}
+
+impl TimeWeighted {
+    /// Creates a series that additionally snapshots the value every
+    /// `sample_every` (for time-series plots).
+    pub fn new(sample_every: SimDuration) -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            integral: 0.0,
+            started: false,
+            samples: Vec::new(),
+            sample_every,
+            next_sample: SimTime::ZERO,
+            values: Percentiles::new(),
+        }
+    }
+
+    /// Records that the signal changed to `value` at `now`.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        if self.started {
+            let dt = now.since(self.last_time).as_secs_f64();
+            self.integral += self.last_value * dt;
+            while self.next_sample <= now {
+                self.samples.push((self.next_sample, self.last_value));
+                self.values.record(self.last_value);
+                self.next_sample += self.sample_every;
+            }
+        } else {
+            self.started = true;
+        }
+        self.last_time = now;
+        self.last_value = value;
+    }
+
+    /// Time-weighted mean over `[0, end]`.
+    pub fn mean_until(&self, end: SimTime) -> f64 {
+        let span = end.as_secs_f64();
+        if span <= 0.0 {
+            return self.last_value;
+        }
+        let tail = end.since(self.last_time).as_secs_f64() * self.last_value;
+        (self.integral + tail) / span
+    }
+
+    /// Median of the periodic snapshots.
+    pub fn median(&mut self) -> Option<f64> {
+        self.values.median()
+    }
+
+    /// The sampled `(time, value)` series.
+    pub fn series(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Latest value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stats_basic() {
+        let mut s = StreamingStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn streaming_stats_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = StreamingStats::new();
+        for &x in &data {
+            all.record(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &data[..37] {
+            a.record(x);
+        }
+        for &x in &data[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn percentiles_quantiles() {
+        let mut p = Percentiles::new();
+        for i in 1..=100 {
+            p.record(i as f64);
+        }
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(1.0), Some(100.0));
+        assert!((p.median().unwrap() - 50.5).abs() < 1e-9);
+        assert!((p.quantile(0.99).unwrap() - 99.01).abs() < 0.02);
+        assert!(p.quantile(2.0).unwrap() <= 100.0);
+    }
+
+    #[test]
+    fn percentiles_empty() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.quantile(0.5), None);
+        assert_eq!(p.mean(), 0.0);
+        assert!(p.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_monotone_and_terminates_at_one() {
+        let mut p = Percentiles::new();
+        for i in 0..1000 {
+            p.record((i % 97) as f64);
+        }
+        let cdf = p.cdf(50);
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_quantile_bounds() {
+        let mut h = Histogram::new(1.0, 10);
+        for x in [0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.quantile_upper_bound(0.5), Some(5.0));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_overflow_and_decay() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(100.0);
+        h.record(1.5);
+        assert_eq!(h.overflow(), 1);
+        assert!((h.overflow_fraction() - 0.5).abs() < 1e-12);
+        h.decay(0.0);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(SimDuration::from_secs(1));
+        tw.update(SimTime::ZERO, 10.0);
+        tw.update(SimTime::from_secs(10), 20.0);
+        // 10s at 10.0, then 10s at 20.0 -> mean 15.0 at t=20s.
+        let mean = tw.mean_until(SimTime::from_secs(20));
+        assert!((mean - 15.0).abs() < 1e-9, "mean {mean}");
+        assert_eq!(tw.current(), 20.0);
+        assert!(!tw.series().is_empty());
+    }
+}

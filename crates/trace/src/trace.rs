@@ -1,0 +1,201 @@
+//! Invocation traces.
+
+use medes_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One function invocation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Invocation {
+    /// Arrival time, microseconds since trace start.
+    pub time_us: u64,
+    /// Index of the function in the trace's function table.
+    pub function: usize,
+    /// Unique request id (dense, assigned at trace build).
+    pub id: u64,
+}
+
+impl Invocation {
+    /// Arrival time as a [`SimTime`].
+    pub fn time(&self) -> SimTime {
+        SimTime::from_micros(self.time_us)
+    }
+}
+
+/// A time-sorted multi-function invocation trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Function names, indexed by [`Invocation::function`].
+    pub functions: Vec<String>,
+    /// Invocations sorted by arrival time.
+    pub invocations: Vec<Invocation>,
+    /// Trace duration in microseconds.
+    pub duration_us: u64,
+}
+
+impl Trace {
+    /// Builds a trace from per-function arrival-time lists.
+    ///
+    /// `arrivals[f]` holds arrival times for function `f`.
+    pub fn from_arrivals(
+        functions: Vec<String>,
+        arrivals: Vec<Vec<SimTime>>,
+        duration: SimTime,
+    ) -> Self {
+        assert_eq!(functions.len(), arrivals.len());
+        let mut invocations: Vec<Invocation> = arrivals
+            .into_iter()
+            .enumerate()
+            .flat_map(|(f, times)| {
+                times.into_iter().map(move |t| Invocation {
+                    time_us: t.as_micros(),
+                    function: f,
+                    id: 0,
+                })
+            })
+            .collect();
+        invocations.sort_by_key(|i| (i.time_us, i.function));
+        for (id, inv) in invocations.iter_mut().enumerate() {
+            inv.id = id as u64;
+        }
+        Trace {
+            functions,
+            invocations,
+            duration_us: duration.as_micros(),
+        }
+    }
+
+    /// Number of invocations.
+    pub fn len(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.invocations.is_empty()
+    }
+
+    /// Trace duration.
+    pub fn duration(&self) -> SimTime {
+        SimTime::from_micros(self.duration_us)
+    }
+
+    /// Per-function invocation counts.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.functions.len()];
+        for inv in &self.invocations {
+            counts[inv.function] += 1;
+        }
+        counts
+    }
+
+    /// Average arrival rate of one function, in requests per second.
+    pub fn rate_per_sec(&self, function: usize) -> f64 {
+        let secs = self.duration().as_secs_f64();
+        if secs == 0.0 || function >= self.functions.len() {
+            return 0.0;
+        }
+        self.counts()[function] as f64 / secs
+    }
+
+    /// Restricts the trace to a subset of functions (used by the
+    /// representative-workload experiments, §7.5). Function indices are
+    /// remapped densely; request ids are reassigned.
+    pub fn filter_functions(&self, keep: &[&str]) -> Trace {
+        let mut map = vec![usize::MAX; self.functions.len()];
+        let mut functions = Vec::new();
+        for (i, name) in self.functions.iter().enumerate() {
+            if keep.contains(&name.as_str()) {
+                map[i] = functions.len();
+                functions.push(name.clone());
+            }
+        }
+        let mut invocations: Vec<Invocation> = self
+            .invocations
+            .iter()
+            .filter(|inv| map[inv.function] != usize::MAX)
+            .map(|inv| Invocation {
+                time_us: inv.time_us,
+                function: map[inv.function],
+                id: 0,
+            })
+            .collect();
+        for (id, inv) in invocations.iter_mut().enumerate() {
+            inv.id = id as u64;
+        }
+        Trace {
+            functions,
+            invocations,
+            duration_us: self.duration_us,
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a JSON trace.
+    pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn sample() -> Trace {
+        Trace::from_arrivals(
+            vec!["A".into(), "B".into()],
+            vec![vec![t(10), t(30)], vec![t(20)]],
+            SimTime::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn build_sorts_and_ids() {
+        let tr = sample();
+        assert_eq!(tr.len(), 3);
+        let times: Vec<u64> = tr.invocations.iter().map(|i| i.time_us).collect();
+        assert_eq!(times, vec![10_000, 20_000, 30_000]);
+        let ids: Vec<u64> = tr.invocations.iter().map(|i| i.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(tr.counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn rates() {
+        let tr = sample();
+        assert!((tr.rate_per_sec(0) - 2.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_remaps_functions() {
+        let tr = sample();
+        let only_b = tr.filter_functions(&["B"]);
+        assert_eq!(only_b.functions, vec!["B".to_string()]);
+        assert_eq!(only_b.len(), 1);
+        assert_eq!(only_b.invocations[0].function, 0);
+        assert_eq!(only_b.invocations[0].id, 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let tr = sample();
+        let back = Trace::from_json(&tr.to_json()).unwrap();
+        assert_eq!(back.len(), tr.len());
+        assert_eq!(back.functions, tr.functions);
+        assert_eq!(back.duration_us, tr.duration_us);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = Trace::default();
+        assert!(tr.is_empty());
+        assert_eq!(tr.rate_per_sec(0) as i64, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Navigating the memory-performance trade-off with the §5 policy
+//! knobs: sweep the latency target α (policy P1) and the memory budget
+//! (policy P2) and watch the warm/dedup split move.
+//!
+//! ```text
+//! cargo run --release --example policy_tuning
+//! ```
+
+use medes::platform::config::PolicyKind;
+use medes::platform::{Platform, PlatformConfig};
+use medes::policy::medes::{solve, FunctionState, Objective};
+use medes::policy::MedesPolicyConfig;
+use medes::sim::SimDuration;
+use medes::trace::{azure_like_trace, functionbench_suite, TraceGenConfig};
+
+fn main() {
+    // Part 1: the optimizer in isolation — the closed-form LP of §5.2.
+    println!("== optimizer: warm/dedup split for one function (C = 20) ==");
+    let state = FunctionState {
+        arrival_rate: 4.0,
+        exec_time: SimDuration::from_millis(800),
+        warm_start: SimDuration::from_millis(8),
+        dedup_start: SimDuration::from_millis(300),
+        mem_warm: 66e6,
+        mem_dedup: 25e6,
+        mem_restore: 12e6,
+        sandboxes: 20,
+    };
+    println!(
+        "{:<30} {:>6} {:>6} {:>10}",
+        "objective", "warm", "dedup", "feasible"
+    );
+    for alpha in [1.5, 5.0, 20.0, 100.0] {
+        let d = solve(
+            &MedesPolicyConfig {
+                objective: Objective::LatencyTarget { alpha },
+                ..Default::default()
+            },
+            &state,
+        );
+        println!(
+            "{:<30} {:>6} {:>6} {:>10}",
+            format!("P1: S <= {alpha} * s_W"),
+            d.target_warm,
+            d.target_dedup,
+            d.feasible
+        );
+    }
+    for budget_mb in [1400.0, 1000.0, 600.0, 200.0] {
+        let d = solve(
+            &MedesPolicyConfig {
+                objective: Objective::MemoryBudget {
+                    budget_bytes: budget_mb * 1e6,
+                },
+                ..Default::default()
+            },
+            &state,
+        );
+        println!(
+            "{:<30} {:>6} {:>6} {:>10}",
+            format!("P2: M <= {budget_mb} MB"),
+            d.target_warm,
+            d.target_dedup,
+            d.feasible
+        );
+    }
+
+    // Part 2: end-to-end — the same trace under different α.
+    println!("\n== platform: sweeping the P1 latency target ==");
+    let suite = functionbench_suite();
+    let names: Vec<String> = suite.iter().map(|p| p.name.clone()).collect();
+    let trace = azure_like_trace(
+        &names,
+        &TraceGenConfig {
+            duration_secs: 300,
+            scale: 5.0,
+            ..Default::default()
+        },
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>16} {:>14}",
+        "alpha", "cold starts", "dedup starts", "mean mem (GiB)", "dedup frac %"
+    );
+    for alpha in [1.5, 2.5, 10.0] {
+        let mut cfg = PlatformConfig::paper_default();
+        cfg.mem_scale = 256;
+        cfg.policy = PolicyKind::Medes(MedesPolicyConfig {
+            objective: Objective::LatencyTarget { alpha },
+            ..Default::default()
+        });
+        let r = Platform::new(cfg, suite.clone()).run(&trace);
+        println!(
+            "{:<10} {:>12} {:>14} {:>16.2} {:>14.1}",
+            alpha,
+            r.total_cold_starts(),
+            r.dedup_starts().iter().sum::<u64>(),
+            r.mem_mean_bytes / (1u64 << 30) as f64,
+            100.0 * r.dedup_fraction()
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! The §2 measurement study on your own function mix: how much memory
+//! redundancy exists between sandboxes, and how it depends on chunk
+//! size and ASLR.
+//!
+//! ```text
+//! cargo run --release --example redundancy_study
+//! ```
+
+use medes::mem::{redundancy, AslrConfig, FunctionSpec, ImageBuilder};
+
+fn main() {
+    // Two functions that share numpy, one that shares nothing beyond
+    // the Python runtime.
+    let specs = [
+        FunctionSpec::new("ImageService", 40 << 20, &["numpy", "pillow"]),
+        FunctionSpec::new("MatrixService", 36 << 20, &["numpy", "json"]),
+        FunctionSpec::new("CryptoService", 24 << 20, &["pyaes", "json"]),
+    ];
+
+    println!("same-sandbox-pair redundancy by chunk size:");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "function", "64B", "256B", "1024B", "ASLR-64B"
+    );
+    for spec in &specs {
+        let plain = ImageBuilder::new(spec.clone()).with_scale(16);
+        let aslr = ImageBuilder::new(spec.clone())
+            .with_scale(16)
+            .with_aslr(AslrConfig::LINUX);
+        let (a, b) = (plain.build(1), plain.build(2));
+        let (a2, b2) = (aslr.build(1), aslr.build(2));
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            spec.name,
+            redundancy(&a, &b, 64).fraction(),
+            redundancy(&a, &b, 256).fraction(),
+            redundancy(&a, &b, 1024).fraction(),
+            redundancy(&a2, &b2, 64).fraction(),
+        );
+    }
+
+    println!("\ncross-function redundancy at 64B (row w.r.t. column):");
+    let images: Vec<_> = specs
+        .iter()
+        .map(|s| ImageBuilder::new(s.clone()).with_scale(16).build(7))
+        .collect();
+    print!("{:<16}", "");
+    for s in &specs {
+        print!(" {:>14}", s.name);
+    }
+    println!();
+    for (i, s) in specs.iter().enumerate() {
+        print!("{:<16}", s.name);
+        for j in 0..specs.len() {
+            print!(
+                " {:>14.3}",
+                redundancy(&images[j], &images[i], 64).fraction()
+            );
+        }
+        println!();
+    }
+    println!("\nnote: ImageService/MatrixService share numpy -> higher pairwise redundancy.");
+}
