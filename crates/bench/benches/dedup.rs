@@ -2,7 +2,7 @@
 //! controller's hot path, ~80 µs/page in the paper) and full
 //! dedup/restore ops over one sandbox image.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use medes_bench::harness::Criterion;
 use medes_core::config::PlatformConfig;
 use medes_core::dedup::{dedup_op, index_base_sandbox};
 use medes_core::ids::{FnId, NodeId, SandboxId};
@@ -114,10 +114,10 @@ fn bench_restore_op(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+medes_bench::bench_group!(
     benches,
     bench_registry_lookup,
     bench_dedup_op,
     bench_restore_op
 );
-criterion_main!(benches);
+medes_bench::bench_main!(benches);

@@ -2,7 +2,7 @@
 //! a similar/dissimilar base (dedup-op cost) and applying it (restore-op
 //! cost, on the request critical path).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medes_bench::harness::{BenchmarkId, Criterion, Throughput};
 use medes_delta::{apply, diff};
 use medes_sim::DetRng;
 
@@ -53,5 +53,5 @@ fn bench_apply(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_apply);
-criterion_main!(benches);
+medes_bench::bench_group!(benches, bench_encode, bench_apply);
+medes_bench::bench_main!(benches);

@@ -2,7 +2,7 @@
 //! Karp–Rabin window, and value-sampled page fingerprints — the
 //! per-page costs of the dedup op's identification phase.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medes_bench::harness::{BenchmarkId, Criterion, Throughput};
 use medes_hash::rabin::{scan_windows, RollingHash};
 use medes_hash::sample::{page_fingerprint, FingerprintConfig};
 use medes_hash::{chunk_hash, Sha1};
@@ -64,11 +64,11 @@ fn bench_fingerprint(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+medes_bench::bench_group!(
     benches,
     bench_sha1,
     bench_chunk_hash,
     bench_rolling_scan,
     bench_fingerprint
 );
-criterion_main!(benches);
+medes_bench::bench_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks for the observability layer. The disabled no-op
+//! fast path is the one every platform run pays by default, so it must
+//! stay in the nanosecond range; the enabled paths and raw histogram
+//! inserts are measured alongside for comparison.
+
+use medes_bench::harness::{black_box, Criterion};
+use medes_obs::{LogLinearHistogram, Obs, ObsConfig};
+use medes_sim::SimTime;
+
+fn bench_disabled_noop(c: &mut Criterion) {
+    let obs = Obs::disabled();
+    let mut g = c.benchmark_group("obs_disabled");
+    g.bench_function("span_with_attrs", |b| {
+        b.iter(|| {
+            obs.span("medes.bench.op", SimTime::from_micros(1))
+                .attr("fn", "bench")
+                .attr("bytes", 4096u64)
+                .end(SimTime::from_micros(5))
+        })
+    });
+    g.bench_function("counter_incr", |b| {
+        b.iter(|| obs.incr("medes.bench.counter"))
+    });
+    g.bench_function("hist_record", |b| {
+        b.iter(|| obs.record("medes.bench.hist", black_box(123)))
+    });
+    g.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let obs = Obs::new(ObsConfig {
+        enabled: true,
+        span_buffer_cap: 1 << 12,
+        ..ObsConfig::default()
+    });
+    let mut g = c.benchmark_group("obs_enabled");
+    g.bench_function("span_with_attrs", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            obs.span("medes.bench.op", SimTime::from_micros(t))
+                .attr("fn", "bench")
+                .attr("bytes", 4096u64)
+                .end(SimTime::from_micros(t + 4))
+        })
+    });
+    g.bench_function("counter_incr", |b| {
+        b.iter(|| obs.incr("medes.bench.counter"))
+    });
+    g.bench_function("hist_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            obs.record("medes.bench.hist", v >> 40)
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_linear_histogram");
+    g.bench_function("record", |b| {
+        let mut h = LogLinearHistogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(v >> 40);
+        })
+    });
+    g.bench_function("quantile_p99", |b| {
+        let mut h = LogLinearHistogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 17 % 100_000);
+        }
+        b.iter(|| black_box(h.quantile(0.99)))
+    });
+    g.finish();
+}
+
+medes_bench::bench_group!(benches, bench_disabled_noop, bench_enabled, bench_histogram);
+medes_bench::bench_main!(benches);

@@ -1,7 +1,7 @@
 //! End-to-end platform throughput: how fast the simulator chews through
 //! a small multi-function trace under each policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medes_bench::harness::{BenchmarkId, Criterion};
 use medes_core::config::{PlatformConfig, PolicyKind};
 use medes_core::platform::Platform;
 use medes_sim::SimDuration;
@@ -40,5 +40,5 @@ fn bench_platform(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_platform);
-criterion_main!(benches);
+medes_bench::bench_group!(benches, bench_platform);
+medes_bench::bench_main!(benches);

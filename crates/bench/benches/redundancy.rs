@@ -1,7 +1,7 @@
 //! Micro-benchmark for the §2.1 redundancy measurement (the analysis
 //! that motivates the whole system).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medes_bench::harness::{BenchmarkId, Criterion, Throughput};
 use medes_mem::{redundancy, FunctionSpec, ImageBuilder};
 
 fn bench_redundancy(c: &mut Criterion) {
@@ -21,5 +21,5 @@ fn bench_redundancy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_redundancy);
-criterion_main!(benches);
+medes_bench::bench_group!(benches, bench_redundancy);
+medes_bench::bench_main!(benches);

@@ -1,24 +1,80 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <id>... [--quick] [--results <dir>]
+//! experiments <id>... [--quick] [--results <dir>] [--obs]
 //! experiments all [--quick]
 //! experiments list
+//! experiments trace summarize <trace.jsonl> [--top <n>]
 //! ```
+//!
+//! `--obs` turns on the `medes-obs` tracing layer: every platform run
+//! also exports a JSONL span trace into the results directory, which
+//! `trace summarize` renders as a per-phase latency breakdown.
 
 use medes_bench::common::ExpConfig;
-use medes_bench::experiments;
+use medes_bench::{experiments, summarize};
 use std::path::PathBuf;
 use std::time::Instant;
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\nids: {}",
+        experiments::ALL.join(", ")
+    );
+    std::process::exit(2);
+}
+
+/// `trace summarize <file.jsonl> [--top <n>]`.
+fn run_summarize(args: &[String]) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                top = n;
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+    for path in files {
+        let contents = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let report = summarize::summarize(&name, &contents, top);
+        println!("{}", report.text());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        match args.get(1).map(String::as_str) {
+            Some("summarize") => return run_summarize(&args[2..]),
+            _ => usage(),
+        }
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut cfg = ExpConfig::full();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => cfg.quick = true,
+            "--obs" => cfg.obs = true,
             "--results" => {
                 if let Some(dir) = it.next() {
                     cfg.results_dir = PathBuf::from(dir);
@@ -35,11 +91,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!(
-            "usage: experiments <id>... [--quick] [--results <dir>]\n       experiments all [--quick]\n       experiments list\nids: {}",
-            experiments::ALL.join(", ")
-        );
-        std::process::exit(2);
+        usage();
     }
     // fig11 is produced by the fig10 run; drop the duplicate when both
     // were requested via `all`.

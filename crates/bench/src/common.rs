@@ -16,6 +16,9 @@ pub struct ExpConfig {
     pub quick: bool,
     /// Where JSON results land.
     pub results_dir: PathBuf,
+    /// Enable the `medes-obs` tracing layer (`--obs`): platform runs
+    /// export a JSONL span trace to `<results_dir>/trace-<n>.jsonl`.
+    pub obs: bool,
 }
 
 impl ExpConfig {
@@ -24,6 +27,7 @@ impl ExpConfig {
         ExpConfig {
             quick: false,
             results_dir: PathBuf::from("results"),
+            obs: false,
         }
     }
 
@@ -31,7 +35,7 @@ impl ExpConfig {
     pub fn quick() -> Self {
         ExpConfig {
             quick: true,
-            results_dir: PathBuf::from("results"),
+            ..Self::full()
         }
     }
 
@@ -137,6 +141,9 @@ impl ExpConfig {
         cfg.nodes = 12; // 12 x 192 MiB: demand-saturated, like the paper's 2 GB limit
         if self.quick {
             cfg.nodes = 6;
+        }
+        if self.obs {
+            cfg.obs = medes_obs::ObsConfig::enabled().export_to(self.results_dir.clone());
         }
         cfg
     }

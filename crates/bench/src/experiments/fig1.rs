@@ -53,10 +53,10 @@ fn run_redundancy_curve(cfg: &ExpConfig, aslr: AslrConfig, id: &str, title: &str
         for &k in CHUNK_SIZES {
             let r = redundancy(a, b, k).fraction();
             row.push(f(r, 3));
-            series.push(serde_json::json!({ "chunk": k, "redundancy": r }));
+            series.push(medes_obs::json!({ "chunk": k, "redundancy": r }));
         }
         rows.push(row);
-        json.push(serde_json::json!({ "function": name, "series": series }));
+        json.push(medes_obs::json!({ "function": name, "series": series }));
     }
     let header: Vec<String> = std::iter::once("function".to_string())
         .chain(CHUNK_SIZES.iter().map(|k| format!("{k}B")))
@@ -65,7 +65,7 @@ fn run_redundancy_curve(cfg: &ExpConfig, aslr: AslrConfig, id: &str, title: &str
     report.table(&header_refs, &rows);
     report.line("");
     report.line("paper: ~0.85-0.95 at 64B, monotonically decaying with chunk size");
-    report.json_set("functions", serde_json::Value::Array(json));
+    report.json_set("functions", medes_obs::Json::Array(json));
     report
 }
 
@@ -126,7 +126,7 @@ pub fn run_fig1c(cfg: &ExpConfig) -> Report {
             jr.push(r);
         }
         rows.push(row);
-        json_rows.push(serde_json::json!(jr));
+        json_rows.push(medes_obs::json!(jr));
     }
     let header: Vec<String> = std::iter::once("w.r.t. ->".to_string())
         .chain(images.iter().map(|(n, _)| n.clone()))
@@ -135,10 +135,10 @@ pub fn run_fig1c(cfg: &ExpConfig) -> Report {
     report.table(&header_refs, &rows);
     report.line("");
     report.line("paper: narrow 0.84-0.90 band across all pairs (Fig 1c)");
-    report.json_set("matrix", serde_json::Value::Array(json_rows));
+    report.json_set("matrix", medes_obs::Json::Array(json_rows));
     report.json_set(
         "functions",
-        serde_json::json!(images.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()),
+        medes_obs::json!(images.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()),
     );
     report
 }

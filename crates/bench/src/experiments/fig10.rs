@@ -69,18 +69,18 @@ pub fn run(cfg: &ExpConfig) -> Report {
             }
             per_fn_sections.push((label.to_string(), rows));
         }
-        json_pools.push(serde_json::json!({
+        json_pools.push(medes_obs::json!({
             "pool": label,
-            "cold": {
+            "cold": medes_obs::json!({
                 "fixed": fixed.total_cold_starts(),
                 "adaptive": adaptive.total_cold_starts(),
                 "medes": medes.total_cold_starts(),
-            },
-            "mean_live_sandboxes": {
+            }),
+            "mean_live_sandboxes": medes_obs::json!({
                 "fixed": fixed.mean_live_sandboxes,
                 "adaptive": adaptive.mean_live_sandboxes,
                 "medes": medes.mean_live_sandboxes,
-            },
+            }),
         }));
     }
 
@@ -110,6 +110,6 @@ pub fn run(cfg: &ExpConfig) -> Report {
     }
     report.line("");
     report.line("paper: up to 3.8x tail-latency improvement under extreme pressure; Medes keeps 43-56% more sandboxes");
-    report.json_set("pools", serde_json::Value::Array(json_pools));
+    report.json_set("pools", medes_obs::Json::Array(json_pools));
     report
 }

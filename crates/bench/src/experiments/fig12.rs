@@ -47,7 +47,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
             cold.to_string(),
             r.evictions.to_string(),
         ]);
-        json.push(serde_json::json!({
+        json.push(medes_obs::json!({
             "policy": format!("KA-{}", w.as_secs_f64() as u64 / 60),
             "cold": cold, "evictions": r.evictions,
         }));
@@ -57,7 +57,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         medes.total_cold_starts().to_string(),
         medes.evictions.to_string(),
     ]);
-    json.push(serde_json::json!({
+    json.push(medes_obs::json!({
         "policy": "Medes", "cold": medes.total_cold_starts(), "evictions": medes.evictions,
     }));
     report.table(&["policy", "cold starts", "evictions"], &rows);
@@ -68,7 +68,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         gain
     ));
     report.line("paper: KA-5 -> KA-10 improves ~9.4%; KA-15/KA-20 regress (evictions)");
-    report.json_set("results", serde_json::Value::Array(json));
-    report.json_set("gain_vs_best_fixed_pct", serde_json::json!(f(gain, 2)));
+    report.json_set("results", medes_obs::Json::Array(json));
+    report.json_set("gain_vs_best_fixed_pct", medes_obs::json!(f(gain, 2)));
     report
 }

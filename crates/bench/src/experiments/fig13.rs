@@ -42,7 +42,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
     report.line("paper: Medes further reduces cold starts on top of snapshot restores; ~42.8% of sandboxes deduplicated");
     report.json_set(
         "results",
-        serde_json::json!({
+        medes_obs::json!({
             "catalyzer_cold": plain.total_cold_starts(),
             "catalyzer_medes_cold": with_medes.total_cold_starts(),
             "dedup_fraction": with_medes.dedup_fraction(),

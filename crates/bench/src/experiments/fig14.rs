@@ -54,7 +54,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
             f(savings / (1 << 20) as f64, 1),
             f(patch, 0),
         ]);
-        json.push(serde_json::json!({
+        json.push(medes_obs::json!({
             "chunk": chunk,
             "cold": r.total_cold_starts(),
             "mean_savings_mb": savings / (1 << 20) as f64,
@@ -72,6 +72,6 @@ pub fn run(cfg: &ExpConfig) -> Report {
     );
     report.line("");
     report.line("paper: 64B best; 128B drops savings (28.8->22.8MB); 32B inflates patches (611->940B) via collisions");
-    report.json_set("results", serde_json::Value::Array(json));
+    report.json_set("results", medes_obs::Json::Array(json));
     report
 }

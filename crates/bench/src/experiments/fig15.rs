@@ -33,7 +33,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         "No Dedup".to_string(),
         nodedup.total_cold_starts().to_string(),
     ]);
-    json.push(serde_json::json!({ "keep_dedup_min": 0, "cold": nodedup.total_cold_starts() }));
+    json.push(medes_obs::json!({ "keep_dedup_min": 0, "cold": nodedup.total_cold_starts() }));
 
     for mins in [5u64, 10, 15, 20] {
         let mut policy = cfg.medes_policy(Objective::LatencyTarget { alpha: 2.5 });
@@ -47,11 +47,11 @@ pub fn run(cfg: &ExpConfig) -> Report {
             format!("Keep-Dedup {mins} min"),
             r.total_cold_starts().to_string(),
         ]);
-        json.push(serde_json::json!({ "keep_dedup_min": mins, "cold": r.total_cold_starts() }));
+        json.push(medes_obs::json!({ "keep_dedup_min": mins, "cold": r.total_cold_starts() }));
     }
     report.table(&["policy", "cold starts"], &rows);
     report.line("");
     report.line("paper: cold starts improve 10-38% as keep-dedup grows, then regress at 20 min (memory pressure)");
-    report.json_set("results", serde_json::Value::Array(json));
+    report.json_set("results", medes_obs::Json::Array(json));
     report
 }

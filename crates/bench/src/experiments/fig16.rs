@@ -63,13 +63,13 @@ pub fn run(cfg: &ExpConfig) -> Report {
             f(restore_ms, 0),
             f(p999, 2),
         ]);
-        json.push(serde_json::json!({
+        json.push(medes_obs::json!({
             "cardinality": card,
             "cold": r.total_cold_starts(),
             "mean_savings_mb": savings / (1 << 20) as f64,
             "mean_restore_ms": restore_ms,
             "slowdown_p999": p999,
-            "slowdown_cdf": cdf.iter().map(|&(v, q)| serde_json::json!([v, q])).collect::<Vec<_>>(),
+            "slowdown_cdf": cdf.iter().map(|&(v, q)| medes_obs::json!([v, q])).collect::<Vec<_>>(),
         }));
     }
     report.table(
@@ -84,6 +84,6 @@ pub fn run(cfg: &ExpConfig) -> Report {
     );
     report.line("");
     report.line("paper: savings 28.8->31.5->32.5MB but restores 378->478->554ms; tail inflates at high cardinality");
-    report.json_set("results", serde_json::Value::Array(json));
+    report.json_set("results", medes_obs::Json::Array(json));
     report
 }

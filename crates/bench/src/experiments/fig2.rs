@@ -57,7 +57,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
             mib(dd),
             f(pct, 1),
         ]);
-        series_json.push(serde_json::json!({
+        series_json.push(medes_obs::json!({
             "t_secs": t as f64 / 1e6,
             "keepalive_bytes": ka,
             "dedup_bytes": dd,
@@ -82,7 +82,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         savings
     ));
     report.line("paper: up to ~30% savings relative to keep-alive usage");
-    report.json_set("series", serde_json::Value::Array(series_json));
-    report.json_set("mean_savings_pct", serde_json::json!(savings));
+    report.json_set("series", medes_obs::Json::Array(series_json));
+    report.json_set("mean_savings_pct", medes_obs::json!(savings));
     report
 }

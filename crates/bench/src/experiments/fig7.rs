@@ -21,7 +21,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
     // Fig 7a: distribution of per-request improvement factors.
     report.section("Fig 7a: improvement-factor distribution (paired by request)");
     let mut rows = Vec::new();
-    let mut json_cdf = serde_json::Map::new();
+    let mut json_cdf = medes_obs::JsonMap::new();
     for (name, baseline) in [("fixed", &fixed), ("adaptive", &adaptive)] {
         let mut factors = medes.improvement_factors(baseline);
         factors.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
@@ -37,7 +37,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         ]);
         json_cdf.insert(
             format!("vs_{name}"),
-            serde_json::json!({
+            medes_obs::json!({
                 "p50": q(0.5), "p95": q(0.95), "p99": q(0.99),
                 "p999": q(0.999), "max": factors.last().copied().unwrap_or(0.0),
             }),
@@ -70,10 +70,16 @@ pub fn run(cfg: &ExpConfig) -> Report {
             f(p999(&adaptive), 0),
             f(p999(&medes), 0),
         ]);
-        json_fns.push(serde_json::json!({
-            "function": name,
-            "cold": { "fixed": cf[i], "adaptive": ca[i], "medes": cm[i] },
-            "p999_ms": { "fixed": p999(&fixed), "adaptive": p999(&adaptive), "medes": p999(&medes) },
+        json_fns.push(medes_obs::json!({
+            "function": name.clone(),
+            "cold": medes_obs::json!({
+                "fixed": cf[i], "adaptive": ca[i], "medes": cm[i],
+            }),
+            "p999_ms": medes_obs::json!({
+                "fixed": p999(&fixed),
+                "adaptive": p999(&adaptive),
+                "medes": p999(&medes),
+            }),
         }));
     }
     report.table(
@@ -119,11 +125,11 @@ pub fn run(cfg: &ExpConfig) -> Report {
         fixed.sandboxes_spawned,
     ));
     report.line("paper: ~39% of sandboxes deduplicated; 7.74%/37.7% more sandboxes in memory; 10-50% fewer cold starts");
-    report.json_set("improvement", serde_json::Value::Object(json_cdf));
-    report.json_set("functions", serde_json::Value::Array(json_fns));
+    report.json_set("improvement", medes_obs::Json::Object(json_cdf));
+    report.json_set("functions", medes_obs::Json::Array(json_fns));
     report.json_set(
         "cold_totals",
-        serde_json::json!({
+        medes_obs::json!({
             "fixed": fixed.total_cold_starts(),
             "adaptive": adaptive.total_cold_starts(),
             "medes": medes.total_cold_starts(),

@@ -75,8 +75,8 @@ pub fn run(cfg: &ExpConfig) -> Report {
             f(t.total().as_millis_f64(), 1),
             f(cold / t.total().as_millis_f64().max(0.1), 2),
         ]);
-        json.push(serde_json::json!({
-            "function": p.name,
+        json.push(medes_obs::json!({
+            "function": p.name.clone(),
             "cold_ms": cold,
             "base_read_ms": t.base_read.as_millis_f64(),
             "page_compute_ms": t.page_compute.as_millis_f64(),
@@ -99,6 +99,6 @@ pub fn run(cfg: &ExpConfig) -> Report {
     report.line("");
     report
         .line("paper: dedup starts ~140-550 ms, consistently below cold starts for every function");
-    report.json_set("functions", serde_json::Value::Array(json));
+    report.json_set("functions", medes_obs::Json::Array(json));
     report
 }

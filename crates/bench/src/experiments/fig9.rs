@@ -63,7 +63,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
             ca[i].to_string(),
             cm[i].to_string(),
         ]);
-        json_fns.push(serde_json::json!({
+        json_fns.push(medes_obs::json!({
             "function": name, "fixed": cf[i], "adaptive": ca[i], "medes": cm[i],
         }));
     }
@@ -87,13 +87,13 @@ pub fn run(cfg: &ExpConfig) -> Report {
     ));
     report.json_set(
         "memory",
-        serde_json::json!({
+        medes_obs::json!({
             "medes_mean": medes.mem_mean_bytes, "medes_median": medes.mem_median_bytes,
             "fixed_mean": fixed.mem_mean_bytes, "fixed_median": fixed.mem_median_bytes,
             "adaptive_mean": adaptive.mem_mean_bytes, "adaptive_median": adaptive.mem_median_bytes,
             "saving_vs_fixed_pct": saving,
         }),
     );
-    report.json_set("cold_starts", serde_json::Value::Array(json_fns));
+    report.json_set("cold_starts", medes_obs::Json::Array(json_fns));
     report
 }

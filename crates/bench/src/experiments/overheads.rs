@@ -34,7 +34,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
             f(s.mean_dedup_op_us / 1e6, 2),
             f(s.mean_dedup_footprint / (1 << 20) as f64, 1),
         ]);
-        json.push(serde_json::json!({
+        json.push(medes_obs::json!({
             "function": name,
             "dedup_ops": s.dedup_ops,
             "mean_dedup_op_secs": s.mean_dedup_op_us / 1e6,
@@ -74,7 +74,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
     report.line("paper: registry+policy metadata grow controller memory by ~11.8%; agent metadata <10% of node memory");
     report.json_set(
         "controller",
-        serde_json::json!({
+        medes_obs::json!({
             "registry_peak_entries": r.registry_peak_entries,
             "registry_peak_bytes": r.registry_peak_bytes,
             "registry_lookups": r.registry_lookups,
@@ -82,6 +82,6 @@ pub fn run(cfg: &ExpConfig) -> Report {
             "dedup_fraction": r.dedup_fraction(),
         }),
     );
-    report.json_set("functions", serde_json::Value::Array(json));
+    report.json_set("functions", medes_obs::Json::Array(json));
     report
 }

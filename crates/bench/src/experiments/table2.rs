@@ -41,8 +41,8 @@ pub fn run(cfg: &ExpConfig) -> Report {
             f(measured, 0),
             format!("{:.1}", p.memory_bytes as f64 / (1 << 20) as f64),
         ]);
-        json.push(serde_json::json!({
-            "function": p.name,
+        json.push(medes_obs::json!({
+            "function": p.name.clone(),
             "exec_ms": p.exec_time().as_millis_f64(),
             "measured_exec_ms": measured,
             "memory_mb": p.memory_bytes as f64 / (1 << 20) as f64,
@@ -58,6 +58,6 @@ pub fn run(cfg: &ExpConfig) -> Report {
         ],
         &rows,
     );
-    report.json_set("functions", serde_json::Value::Array(json));
+    report.json_set("functions", medes_obs::Json::Array(json));
     report
 }

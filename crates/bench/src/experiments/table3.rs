@@ -84,8 +84,8 @@ pub fn run(cfg: &ExpConfig) -> Report {
             f(100.0 * saved_frac, 1),
             f(paper_pct, 1),
         ]);
-        json.push(serde_json::json!({
-            "function": p.name,
+        json.push(medes_obs::json!({
+            "function": p.name.clone(),
             "saved_mb": saved_mb,
             "saved_pct": 100.0 * saved_frac,
             "paper_pct": paper_pct,
@@ -94,6 +94,6 @@ pub fn run(cfg: &ExpConfig) -> Report {
     report.table(&["function", "saved (MB)", "saved %", "paper %"], &rows);
     report.line("");
     report.line("paper: 16-58% depending on the function's library/heap composition");
-    report.json_set("functions", serde_json::Value::Array(json));
+    report.json_set("functions", medes_obs::Json::Array(json));
     report
 }

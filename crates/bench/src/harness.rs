@@ -1,0 +1,296 @@
+//! A small wall-clock micro-benchmark harness.
+//!
+//! Drop-in for the narrow slice of the criterion API the bench files
+//! use (`bench_function`, `benchmark_group`, `Throughput::Bytes`,
+//! `BenchmarkId`), so the workspace benches run without external
+//! dependencies. Each benchmark is calibrated to a target time per
+//! sample, then measured over a fixed number of samples; the median
+//! ns/iter (and MB/s when a throughput is set) is printed.
+//!
+//! This is a relative-comparison tool, not a statistics suite: numbers
+//! are stable enough to spot order-of-magnitude regressions, which is
+//! all the repo's benches are for.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmark body.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Bytes processed per iteration, for MB/s reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark id, optionally `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: &str, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just `param`.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iters_hint: u64,
+    /// Measured total time and iteration count, filled by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen iteration count and records the
+    /// elapsed time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let iters = self.iters_hint.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// Top-level harness. Construct with [`Criterion::default`], then call
+/// [`Criterion::bench_function`] / [`Criterion::benchmark_group`].
+pub struct Criterion {
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Fast-mode via env var keeps CI cheap.
+        let quick = std::env::var_os("MEDES_BENCH_QUICK").is_some();
+        Criterion {
+            sample_size: if quick { 5 } else { 15 },
+            target_sample: if quick {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(50)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, None, self.sample_size, self.target_sample, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Prints the final summary line (criterion compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for MB/s reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(
+            &label,
+            self.throughput,
+            self.sample_size.unwrap_or(self.harness.sample_size),
+            self.harness.target_sample,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_bench(
+    label: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    target_sample: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: grow the iteration count until one sample takes at
+    // least ~target_sample (bounded to keep pathological benches fast).
+    let mut iters = 1u64;
+    let mut per_iter_ns;
+    loop {
+        let mut b = Bencher {
+            iters_hint: iters,
+            result: None,
+        };
+        f(&mut b);
+        let (elapsed, n) = b.result.unwrap_or((Duration::ZERO, 1));
+        per_iter_ns = elapsed.as_nanos() as f64 / n as f64;
+        if elapsed >= target_sample / 2 || iters >= 1 << 24 {
+            break;
+        }
+        // Aim straight for the target based on the measured rate.
+        let want = (target_sample.as_nanos() as f64 / per_iter_ns.max(0.5)).ceil() as u64;
+        iters = want.clamp(iters * 2, 1 << 24);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters_hint: iters,
+            result: None,
+        };
+        f(&mut b);
+        if let Some((elapsed, n)) = b.result {
+            per_iter.push(elapsed.as_nanos() as f64 / n as f64);
+        }
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = if per_iter.is_empty() {
+        per_iter_ns
+    } else {
+        per_iter[per_iter.len() / 2]
+    };
+    let min = per_iter.first().copied().unwrap_or(median);
+    let max = per_iter.last().copied().unwrap_or(median);
+
+    let mut line = format!(
+        "bench {label:<44} {:>12}/iter  [{} .. {}]",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max)
+    );
+    if let Some(Throughput::Bytes(bytes)) = throughput {
+        let mbps = bytes as f64 / median * 1e9 / (1 << 20) as f64;
+        line.push_str(&format!("  {mbps:>10.1} MiB/s"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+/// Registers benchmark functions, mirroring criterion's macro shape.
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $fun(&mut c); )+
+        }
+    };
+}
+
+/// Entry point for a bench binary.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        std::env::set_var("MEDES_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(4096));
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("page", 5).to_string(), "page/5");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(5.0), "5.0ns");
+        assert_eq!(fmt_ns(5_000.0), "5.000us");
+        assert_eq!(fmt_ns(5_000_000.0), "5.000ms");
+        assert_eq!(fmt_ns(5e9), "5.000s");
+    }
+}

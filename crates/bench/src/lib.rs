@@ -13,16 +13,23 @@
 //! record to `results/<id>.json`. The `--quick` flag shrinks workloads
 //! for smoke testing (used by the integration tests).
 //!
-//! Criterion micro-benchmarks (`cargo bench -p medes-bench`) cover the
-//! hot primitives: SHA-1, rolling scans, value sampling, delta
-//! encode/apply, registry lookups, and the dedup/restore ops.
+//! Micro-benchmarks (`cargo bench -p medes-bench`, via the local
+//! [`harness`]) cover the hot primitives: SHA-1, rolling scans, value
+//! sampling, delta encode/apply, registry lookups, the dedup/restore
+//! ops, and the observability no-op fast path.
+//!
+//! `trace summarize <trace.jsonl>` renders the per-phase latency
+//! breakdown of a JSONL span trace exported by `medes-obs` (run any
+//! experiment with `--obs` to produce one).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;
 pub mod experiments;
+pub mod harness;
 pub mod report;
+pub mod summarize;
 
 pub use common::ExpConfig;
 pub use report::Report;

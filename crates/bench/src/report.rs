@@ -1,5 +1,7 @@
 //! Plain-text tables + JSON output for experiments.
 
+use medes_obs::json;
+use medes_obs::json::Json;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -10,7 +12,7 @@ pub struct Report {
     /// Experiment id (`fig7a`, `table3`, ...).
     pub id: String,
     text: String,
-    json: serde_json::Value,
+    json: Json,
 }
 
 impl Report {
@@ -19,7 +21,7 @@ impl Report {
         let mut r = Report {
             id: id.to_string(),
             text: String::new(),
-            json: serde_json::json!({ "id": id, "title": title }),
+            json: json!({ "id": id, "title": title }),
         };
         let bar = "=".repeat(72);
         let _ = writeln!(r.text, "{bar}\n{id}: {title}\n{bar}");
@@ -62,8 +64,16 @@ impl Report {
     }
 
     /// Attaches a JSON field to the report record.
-    pub fn json_set(&mut self, key: &str, value: serde_json::Value) {
-        self.json[key] = value;
+    pub fn json_set(&mut self, key: &str, value: Json) {
+        if !matches!(self.json, Json::Object(_)) {
+            self.json = Json::object();
+        }
+        self.json.insert(key, value);
+    }
+
+    /// The attached JSON record.
+    pub fn json(&self) -> &Json {
+        &self.json
     }
 
     /// The rendered text.
@@ -71,14 +81,18 @@ impl Report {
         &self.text
     }
 
-    /// Prints to stdout and writes `results/<id>.json`.
+    /// Prints to stdout and writes `results/<id>.json` (creating the
+    /// results directory if needed).
     pub fn emit(&self, results_dir: &Path) {
         println!("{}", self.text);
-        if std::fs::create_dir_all(results_dir).is_ok() {
-            let path = results_dir.join(format!("{}.json", self.id));
-            if let Ok(s) = serde_json::to_string_pretty(&self.json) {
-                let _ = std::fs::write(path, s);
+        match std::fs::create_dir_all(results_dir) {
+            Ok(()) => {
+                let path = results_dir.join(format!("{}.json", self.id));
+                if let Err(e) = std::fs::write(&path, self.json.to_string_pretty()) {
+                    eprintln!("warning: failed to write {}: {e}", path.display());
+                }
             }
+            Err(e) => eprintln!("warning: failed to create {}: {e}", results_dir.display()),
         }
     }
 }
@@ -115,7 +129,7 @@ mod tests {
     #[test]
     fn json_fields_accumulate() {
         let mut r = Report::new("x", "t");
-        r.json_set("k", serde_json::json!([1, 2, 3]));
+        r.json_set("k", json!([1, 2, 3]));
         assert_eq!(r.json["k"][1], 2);
         assert_eq!(r.json["id"], "x");
     }
@@ -124,5 +138,21 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(mib(3.0 * 1048576.0), "3.0");
+    }
+
+    #[test]
+    fn emit_creates_missing_results_dir() {
+        let dir = std::env::temp_dir().join(format!("medes-report-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("results").join("deep");
+        let mut r = Report::new("probe", "dir creation");
+        r.json_set("ok", json!(true));
+        r.emit(&nested);
+        let path = nested.join("probe.json");
+        assert!(path.exists(), "emit must create {}", nested.display());
+        let back = medes_obs::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back["id"], "probe");
+        assert_eq!(back["ok"], Json::Bool(true));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod image;
+pub mod obs;
 pub mod store;
 pub mod timing;
 

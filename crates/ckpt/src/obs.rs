@@ -1,0 +1,59 @@
+//! `medes.ckpt.*` metric helpers.
+//!
+//! The [`crate::TimingModel`] itself is a pure cost function; callers
+//! (the dedup/restore ops in `medes-core`) report what they charged
+//! through these helpers so checkpoint/restore timing shows up in the
+//! metrics snapshot of an obs-enabled run.
+
+use medes_obs::Obs;
+use medes_sim::SimDuration;
+
+/// Records one sandbox checkpoint: op counter, dumped paper-scale
+/// bytes, and a duration histogram (`medes.ckpt.checkpoint_us`).
+pub fn record_checkpoint(obs: &Obs, paper_bytes: usize, took: SimDuration) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.incr("medes.ckpt.checkpoints");
+    obs.counter_add("medes.ckpt.checkpoint_bytes", paper_bytes as u64);
+    obs.record_us("medes.ckpt.checkpoint_us", took);
+}
+
+/// Records one restore-from-checkpoint (the memory-restore path):
+/// op counter and a duration histogram (`medes.ckpt.restore_us`).
+pub fn record_restore(obs: &Obs, took: SimDuration) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.incr("medes.ckpt.restores");
+    obs.record_us("medes.ckpt.restore_us", took);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medes_obs::ObsConfig;
+
+    #[test]
+    fn checkpoint_and_restore_are_recorded() {
+        let obs = Obs::new(ObsConfig::enabled());
+        record_checkpoint(&obs, 4096, SimDuration::from_millis(120));
+        record_checkpoint(&obs, 8192, SimDuration::from_millis(140));
+        record_restore(&obs, SimDuration::from_millis(140));
+        assert_eq!(obs.counter("medes.ckpt.checkpoints"), 2);
+        assert_eq!(obs.counter("medes.ckpt.checkpoint_bytes"), 12288);
+        assert_eq!(obs.counter("medes.ckpt.restores"), 1);
+        let mean = obs
+            .with_histogram("medes.ckpt.restore_us", |h| h.mean())
+            .unwrap();
+        assert!((mean - 140_000.0).abs() / 140_000.0 < 0.05);
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let obs = Obs::disabled();
+        record_checkpoint(&obs, 4096, SimDuration::from_millis(120));
+        record_restore(&obs, SimDuration::from_millis(140));
+        assert!(obs.metrics_snapshot().is_empty());
+    }
+}

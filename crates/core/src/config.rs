@@ -4,6 +4,7 @@ use medes_ckpt::TimingModel;
 use medes_hash::sample::FingerprintConfig;
 use medes_mem::{AslrConfig, ContentModel};
 use medes_net::NetConfig;
+use medes_obs::ObsConfig;
 use medes_policy::MedesPolicyConfig;
 use medes_sim::SimDuration;
 
@@ -65,6 +66,9 @@ pub struct PlatformConfig {
     /// Verify every restore byte-for-byte against the regenerated image
     /// (slow; enabled in tests).
     pub verify_restores: bool,
+    /// Structured tracing/metrics configuration (`medes-obs`). Disabled
+    /// by default: the platform then skips all span/metric recording.
+    pub obs: ObsConfig,
 }
 
 impl PlatformConfig {
@@ -91,6 +95,7 @@ impl PlatformConfig {
             policy_tick: SimDuration::from_secs(10),
             seed: 0xC0FFEE,
             verify_restores: false,
+            obs: ObsConfig::default(),
         }
     }
 

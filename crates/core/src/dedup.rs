@@ -21,7 +21,8 @@ use medes_delta::{encode, EncodeConfig};
 use medes_hash::sample::page_fingerprint;
 use medes_mem::{MemoryImage, PAGE_SIZE};
 use medes_net::Fabric;
-use medes_sim::SimDuration;
+use medes_obs::Obs;
+use medes_sim::{SimDuration, SimTime};
 use std::sync::Arc;
 
 /// Wall-time breakdown of one dedup op (background work).
@@ -41,6 +42,36 @@ impl DedupTiming {
     /// Total dedup-op time.
     pub fn total(&self) -> SimDuration {
         self.checkpoint + self.lookup + self.base_read + self.patch_compute
+    }
+
+    /// Emits the per-phase spans (`medes.dedup.*`) for one dedup op
+    /// that started at `start`, plus duration histograms and the
+    /// `medes.ckpt` checkpoint metrics (`ckpt_paper_bytes` is the
+    /// paper-scale dump size). Phases are laid end-to-end in execution
+    /// order (checkpoint → fingerprint lookup → base read → patch
+    /// compute), so span durations sum to [`DedupTiming::total`].
+    pub fn record(&self, obs: &Obs, start: SimTime, fn_name: &str, ckpt_paper_bytes: usize) {
+        if !obs.enabled() {
+            return;
+        }
+        let t1 = start + self.checkpoint;
+        let t2 = t1 + self.lookup;
+        let t3 = t2 + self.base_read;
+        let t4 = t3 + self.patch_compute;
+        obs.span("medes.dedup.checkpoint", start).end(t1);
+        obs.span("medes.dedup.lookup", t1).end(t2);
+        obs.span("medes.dedup.base_read", t2).end(t3);
+        obs.span("medes.dedup.patch", t3).end(t4);
+        obs.span("medes.dedup.op", start)
+            .attr("fn", fn_name.to_string())
+            .end(t4);
+        obs.incr("medes.dedup.ops");
+        obs.record_us("medes.dedup.checkpoint_us", self.checkpoint);
+        obs.record_us("medes.dedup.lookup_us", self.lookup);
+        obs.record_us("medes.dedup.base_read_us", self.base_read);
+        obs.record_us("medes.dedup.patch_us", self.patch_compute);
+        obs.record_us("medes.dedup.op_us", self.total());
+        medes_ckpt::obs::record_checkpoint(obs, ckpt_paper_bytes, self.checkpoint);
     }
 }
 

@@ -1,7 +1,14 @@
 //! Run metrics: everything the paper's tables and figures need.
+//!
+//! The [`MetricsCollector`] is layered on top of `medes-obs`: every
+//! request it records is mirrored as a `medes.platform.request` span
+//! plus latency histograms, so an obs-enabled run yields a JSONL trace
+//! whose aggregates match the [`RunReport`] exactly.
 
+use medes_obs::Obs;
 use medes_sim::stats::Percentiles;
 use medes_sim::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// How a request's sandbox was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,9 +68,16 @@ pub struct FnDedupStats {
 }
 
 impl FnDedupStats {
-    /// Folds a value into a running mean given the previous count.
+    /// Folds a value into a running mean. `count` is the number of
+    /// observations *including* `value` (callers bump their counter
+    /// first, then fold). The first observation (`count <= 1`) sets the
+    /// mean outright, so a `count` of zero can never divide by zero.
     pub(crate) fn fold(mean: &mut f64, count: u64, value: f64) {
-        *mean += (value - *mean) / (count as f64);
+        if count <= 1 {
+            *mean = value;
+        } else {
+            *mean += (value - *mean) / (count as f64);
+        }
     }
 }
 
@@ -207,13 +221,20 @@ impl RunReport {
 pub struct MetricsCollector {
     /// The report under construction.
     pub report: RunReport,
+    obs: Arc<Obs>,
     mem: medes_sim::stats::TimeWeighted,
     live: medes_sim::stats::TimeWeighted,
 }
 
 impl MetricsCollector {
-    /// Creates a collector for the given functions.
+    /// Creates a collector for the given functions (obs disabled).
     pub fn new(functions: Vec<String>, mem_sample_every: SimDuration) -> Self {
+        Self::with_obs(functions, mem_sample_every, Obs::disabled())
+    }
+
+    /// Creates a collector that mirrors everything it records into the
+    /// given observability sink.
+    pub fn with_obs(functions: Vec<String>, mem_sample_every: SimDuration, obs: Arc<Obs>) -> Self {
         let n = functions.len();
         MetricsCollector {
             report: RunReport {
@@ -221,19 +242,73 @@ impl MetricsCollector {
                 dedup_stats: vec![FnDedupStats::default(); n],
                 ..Default::default()
             },
+            obs,
             mem: medes_sim::stats::TimeWeighted::new(mem_sample_every),
             live: medes_sim::stats::TimeWeighted::new(mem_sample_every),
         }
     }
 
+    /// Records one completed request: appends it to the report and
+    /// mirrors it as a `medes.platform.request` span + histograms.
+    pub fn push_request(&mut self, rec: RequestRecord) {
+        if self.obs.enabled() {
+            let start_type = match rec.start {
+                StartType::Warm => "warm",
+                StartType::Dedup => "dedup",
+                StartType::Cold => "cold",
+            };
+            let fn_name = self
+                .report
+                .functions
+                .get(rec.func)
+                .map(|s| s.as_str())
+                .unwrap_or("?")
+                .to_string();
+            self.obs
+                .span(
+                    "medes.platform.request",
+                    SimTime::from_micros(rec.arrival_us),
+                )
+                .attr("id", rec.id)
+                .attr("fn", fn_name)
+                .attr("start_type", start_type)
+                .attr("startup_us", rec.startup_us)
+                .attr("exec_us", rec.exec_us)
+                .end(SimTime::from_micros(rec.arrival_us + rec.e2e_us));
+            self.obs.incr(match rec.start {
+                StartType::Warm => "medes.platform.starts.warm",
+                StartType::Dedup => "medes.platform.starts.dedup",
+                StartType::Cold => "medes.platform.starts.cold",
+            });
+            self.obs.record("medes.platform.e2e_us", rec.e2e_us);
+            self.obs.record("medes.platform.startup_us", rec.startup_us);
+        }
+        self.report.requests.push(rec);
+    }
+
+    /// Records a pressure eviction.
+    pub fn push_eviction(&mut self) {
+        self.report.evictions += 1;
+        self.obs.incr("medes.platform.evictions");
+    }
+
+    /// Records a keep-alive / keep-dedup expiration.
+    pub fn push_expiration(&mut self) {
+        self.report.expirations += 1;
+        self.obs.incr("medes.platform.expirations");
+    }
+
     /// Records a cluster memory usage change (paper bytes).
     pub fn mem_update(&mut self, now: SimTime, paper_bytes: f64) {
         self.mem.update(now, paper_bytes);
+        self.obs
+            .gauge_set("medes.platform.mem_paper_bytes", paper_bytes);
     }
 
     /// Records a live-sandbox-count change.
     pub fn live_update(&mut self, now: SimTime, count: f64) {
         self.live.update(now, count);
+        self.obs.gauge_set("medes.platform.live_sandboxes", count);
     }
 
     /// Finalizes the report at `end`.
@@ -333,5 +408,29 @@ mod tests {
     fn dedup_fraction_handles_zero() {
         let r = RunReport::default();
         assert_eq!(r.dedup_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fold_matches_arithmetic_mean() {
+        // Callers bump their count first and pass the new value, so
+        // fold(n) over the n-th sample must track the exact mean.
+        let samples = [3.0, 9.0, 1.0, 50.0, 0.25];
+        let mut mean = 0.0;
+        for (i, &v) in samples.iter().enumerate() {
+            FnDedupStats::fold(&mut mean, (i + 1) as u64, v);
+            let exact: f64 = samples[..=i].iter().sum::<f64>() / (i + 1) as f64;
+            assert!((mean - exact).abs() < 1e-12, "after {} samples", i + 1);
+        }
+    }
+
+    #[test]
+    fn fold_first_observation_sets_mean() {
+        // A stale starting value must not leak into the mean, and a
+        // count of zero must not divide by zero.
+        for count in [0u64, 1] {
+            let mut mean = f64::NAN;
+            FnDedupStats::fold(&mut mean, count, 42.0);
+            assert_eq!(mean, 42.0, "count={count}");
+        }
     }
 }

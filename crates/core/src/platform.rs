@@ -31,6 +31,7 @@ use crate::restore::restore_op;
 use crate::sandbox::{Sandbox, SandboxState};
 use medes_mem::MemoryImage;
 use medes_net::Fabric;
+use medes_obs::Obs;
 use medes_policy::keepalive::KeepAlivePolicy;
 use medes_policy::medes::{solve, Objective};
 use medes_policy::{AdaptiveKeepAlive, FixedKeepAlive, MedesPolicyConfig};
@@ -59,7 +60,9 @@ impl Platform {
         Platform { cfg, profiles }
     }
 
-    /// Runs a trace to completion and reports metrics.
+    /// Runs a trace to completion and reports metrics. When the config
+    /// has observability enabled with an export directory, the span
+    /// trace is written there as JSONL on completion.
     ///
     /// # Panics
     /// Panics if the trace's function table does not match the profile
@@ -67,6 +70,18 @@ impl Platform {
     /// memory limit (such a function could never be scheduled and its
     /// requests would retry forever).
     pub fn run(&self, trace: &Trace) -> RunReport {
+        let (report, obs) = self.run_observed(trace);
+        match obs.write_trace() {
+            Ok(Some(path)) => eprintln!("[obs] wrote {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: failed to write obs trace: {e}"),
+        }
+        report
+    }
+
+    /// Like [`Platform::run`] but also returns the observability handle
+    /// (buffered spans + metrics) instead of auto-exporting it.
+    pub fn run_observed(&self, trace: &Trace) -> (RunReport, Arc<Obs>) {
         assert_eq!(
             trace.functions.len(),
             self.profiles.len(),
@@ -99,7 +114,8 @@ impl Platform {
         sim.run();
         let end = sim.now();
         cluster = sim.into_world();
-        cluster.finish(end)
+        let obs = Arc::clone(&cluster.obs);
+        (cluster.finish(end), obs)
     }
 }
 
@@ -177,6 +193,7 @@ struct Cluster {
     next_sandbox: u64,
     cluster_mem: usize,
     metrics: MetricsCollector,
+    obs: Arc<Obs>,
     /// Don't re-arm periodic events past this instant.
     horizon: SimTime,
 }
@@ -184,9 +201,11 @@ struct Cluster {
 impl Cluster {
     fn new(cfg: PlatformConfig, profiles: Vec<FunctionProfile>, horizon: SimTime) -> Self {
         let factory = ImageFactory::new(&profiles, cfg.content.clone(), cfg.aslr, cfg.mem_scale);
-        let fabric = Fabric::new(cfg.nodes, cfg.net.clone());
+        let obs = Obs::new(cfg.obs.clone());
+        let fabric = Fabric::with_obs(cfg.nodes, cfg.net.clone(), Arc::clone(&obs));
         let names: Vec<String> = profiles.iter().map(|p| p.name.clone()).collect();
-        let metrics = MetricsCollector::new(names, SimDuration::from_secs(10));
+        let metrics =
+            MetricsCollector::with_obs(names, SimDuration::from_secs(10), Arc::clone(&obs));
         let (fixed_ka, adaptive_ka, medes) = match &cfg.policy {
             PolicyKind::FixedKeepAlive(d) => (Some(FixedKeepAlive::new(*d)), None, None),
             PolicyKind::AdaptiveKeepAlive => (None, Some(AdaptiveKeepAlive::paper_default()), None),
@@ -208,7 +227,8 @@ impl Cluster {
             horizon,
             factory,
             fabric,
-            registry: FingerprintRegistry::new(),
+            registry: FingerprintRegistry::with_obs(Arc::clone(&obs)),
+            obs,
             cfg,
         }
     }
@@ -279,7 +299,7 @@ impl Cluster {
                 break;
             }
             self.purge_sandbox(now, id);
-            self.metrics.report.evictions += 1;
+            self.metrics.push_eviction();
         }
         self.node_free(node) >= needed
     }
@@ -422,6 +442,9 @@ impl Cluster {
                     verify.as_deref(),
                 )
                 .expect("refcounted bases cannot be missing");
+                outcome
+                    .timing
+                    .record(&self.obs, now, &self.fns[f].profile.name);
                 let sb = self.sandboxes.get_mut(&id).expect("sandbox exists");
                 sb.transition(SandboxState::Restoring);
                 let grow = m_w as i64 - cur_mem as i64;
@@ -473,6 +496,7 @@ impl Cluster {
                 id: req.id,
                 arrival: req.arrival,
             });
+            self.obs.incr("medes.platform.queued");
             if !self.fns[f].retry_armed {
                 self.fns[f].retry_armed = true;
                 sched.after(QUEUE_RETRY, Ev::RetryQueue { func: f });
@@ -595,6 +619,12 @@ impl Cluster {
             &image,
             &|bid| bases.get(&bid).map(|(bf, img)| (Arc::clone(img), *bf)),
         );
+        outcome.timing.record(
+            &self.obs,
+            now,
+            &self.fns[f].profile.name,
+            self.cfg.to_paper_bytes(image.total_bytes()),
+        );
         // Pin the referenced bases *now*: the dedup table already points
         // into them, and they must survive until DedupDone commits (or
         // reverts) the state.
@@ -663,6 +693,8 @@ impl Cluster {
         stats.dedup_ops += 1;
         let n = stats.dedup_ops;
         let saved_paper = self.cfg.to_paper_bytes(saved) as f64;
+        self.obs
+            .counter_add("medes.dedup.saved_paper_bytes", saved_paper as u64);
         FnDedupStats::fold(&mut stats.mean_saved_paper_bytes, n, saved_paper);
         FnDedupStats::fold(&mut stats.mean_dedup_footprint, n, new_paper as f64);
         FnDedupStats::fold(
@@ -735,6 +767,7 @@ impl World for Cluster {
         let now = sched.now();
         match event {
             Ev::Arrival { id, func } => {
+                self.obs.incr("medes.platform.arrivals");
                 self.fns[func].on_arrival();
                 if let Some(a) = &mut self.adaptive_ka {
                     a.on_request(func, now);
@@ -807,7 +840,7 @@ impl World for Cluster {
 
             Ev::ExecDone { sb: id, mut rec } => {
                 rec.e2e_us = now.since(SimTime::from_micros(rec.arrival_us)).as_micros();
-                self.metrics.report.requests.push(rec);
+                self.metrics.push_request(rec);
                 let sb = self.sandboxes.get_mut(&id).expect("running sandbox exists");
                 sb.transition(SandboxState::Warm);
                 sb.last_used = now;
@@ -861,7 +894,7 @@ impl World for Cluster {
                     return;
                 }
                 self.purge_sandbox(now, id);
-                self.metrics.report.expirations += 1;
+                self.metrics.push_expiration();
             }
 
             Ev::KeepDedupExpire { sb: id, epoch } => {
@@ -872,7 +905,7 @@ impl World for Cluster {
                     return;
                 }
                 self.purge_sandbox(now, id);
-                self.metrics.report.expirations += 1;
+                self.metrics.push_expiration();
             }
 
             Ev::DedupDone { sb, epoch, outcome } => self.dedup_done(sb, epoch, *outcome, sched),
@@ -1043,5 +1076,92 @@ mod tests {
             assert!(mem <= cap * 1.05, "memory {mem} exceeds capacity {cap}");
         }
         assert!(report.evictions > 0, "pressure must cause evictions");
+    }
+
+    #[test]
+    fn obs_trace_matches_report_aggregates() {
+        let (suite, trace) = small_trace(600, 10.0);
+        let mut cfg = PlatformConfig::small_test();
+        cfg.obs = medes_obs::ObsConfig::enabled();
+        cfg.obs.span_buffer_cap = 1 << 20;
+        if let PolicyKind::Medes(m) = &mut cfg.policy {
+            m.idle_period = SimDuration::from_secs(5);
+            m.objective = medes_policy::medes::Objective::MemoryBudget {
+                budget_bytes: 100e6,
+            };
+        }
+        let (report, obs) = Platform::new(cfg, suite).run_observed(&trace);
+        assert_eq!(obs.spans_dropped(), 0, "buffer must hold the whole run");
+
+        // Every request is mirrored into the start-type counters and as
+        // a request span whose attrs match the report's records.
+        let starts = obs.counter("medes.platform.starts.warm")
+            + obs.counter("medes.platform.starts.dedup")
+            + obs.counter("medes.platform.starts.cold");
+        assert_eq!(starts, report.requests.len() as u64);
+        assert_eq!(
+            obs.counter("medes.platform.arrivals"),
+            report.requests.len() as u64
+        );
+
+        // The JSONL export round-trips, and the per-phase restore
+        // breakdown computed from spans matches the report's folded
+        // means (Fig 8) within 1 µs.
+        let spans = medes_obs::parse_jsonl(&obs.export_jsonl());
+        let total_restores: u64 = report.dedup_stats.iter().map(|s| s.restores).sum();
+        assert!(total_restores > 0, "run must contain dedup starts");
+        for (span_name, pick) in [
+            ("medes.restore.base_read", 0usize),
+            ("medes.restore.page_compute", 1),
+            ("medes.restore.ckpt", 2),
+        ] {
+            let durs: Vec<u64> = spans
+                .iter()
+                .filter(|s| s.name == span_name)
+                .map(|s| s.dur_us())
+                .collect();
+            assert_eq!(durs.len() as u64, total_restores, "{span_name}");
+            let span_mean = durs.iter().sum::<u64>() as f64 / durs.len() as f64;
+            let report_mean = report
+                .dedup_stats
+                .iter()
+                .map(|s| {
+                    let m = [
+                        s.mean_restore_us.0,
+                        s.mean_restore_us.1,
+                        s.mean_restore_us.2,
+                    ][pick];
+                    m * s.restores as f64
+                })
+                .sum::<f64>()
+                / total_restores as f64;
+            assert!(
+                (span_mean - report_mean).abs() <= 1.0,
+                "{span_name}: spans {span_mean} vs report {report_mean}"
+            );
+        }
+
+        // Dedup-op spans agree with the op counter, and the registry's
+        // own counters agree with the report.
+        let dedup_ops: u64 = report.dedup_stats.iter().map(|s| s.dedup_ops).sum();
+        assert!(
+            obs.counter("medes.dedup.ops") >= dedup_ops,
+            "every committed op was recorded"
+        );
+        assert_eq!(
+            obs.counter("medes.registry.lookups"),
+            report.registry_lookups
+        );
+    }
+
+    #[test]
+    fn disabled_obs_leaves_run_untouched() {
+        let (suite, trace) = small_trace(60, 2.0);
+        let cfg = PlatformConfig::small_test();
+        assert!(!cfg.obs.enabled);
+        let (report, obs) = Platform::new(cfg, suite).run_observed(&trace);
+        assert!(!report.requests.is_empty());
+        assert_eq!(obs.span_count(), 0);
+        assert!(obs.metrics_snapshot().is_empty());
     }
 }

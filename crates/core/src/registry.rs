@@ -12,7 +12,9 @@
 use crate::ids::{NodeId, SandboxId};
 use medes_hash::ChunkHash;
 use medes_hash::PageFingerprint;
+use medes_obs::Obs;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Where one RSC lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,7 +45,7 @@ const MAX_LOCS_PER_HASH: usize = 8;
 const ENTRY_BYTES: usize = 8 + std::mem::size_of::<ChunkLoc>();
 
 /// The global fingerprint registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FingerprintRegistry {
     table: HashMap<ChunkHash, Vec<ChunkLoc>>,
     /// Reverse index for exact removal when a base sandbox is purged.
@@ -51,17 +53,37 @@ pub struct FingerprintRegistry {
     entries: usize,
     peak_entries: usize,
     lookups: u64,
+    obs: Arc<Obs>,
+}
+
+impl Default for FingerprintRegistry {
+    fn default() -> Self {
+        Self::with_obs(Obs::disabled())
+    }
 }
 
 impl FingerprintRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry (observability disabled).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty registry recording `medes.registry.*` metrics.
+    pub fn with_obs(obs: Arc<Obs>) -> Self {
+        FingerprintRegistry {
+            table: HashMap::new(),
+            by_sandbox: HashMap::new(),
+            entries: 0,
+            peak_entries: 0,
+            lookups: 0,
+            obs,
+        }
     }
 
     /// Inserts all fingerprint chunks of one base-sandbox page.
     pub fn insert_page(&mut self, fp: &PageFingerprint, loc: ChunkLoc) {
         let hashes = self.by_sandbox.entry(loc.sandbox).or_default();
+        let before = self.entries;
         for chunk in fp.chunks() {
             let locs = self.table.entry(chunk.hash).or_default();
             if locs.len() < MAX_LOCS_PER_HASH {
@@ -70,6 +92,12 @@ impl FingerprintRegistry {
                 self.entries += 1;
                 self.peak_entries = self.peak_entries.max(self.entries);
             }
+        }
+        if self.obs.enabled() {
+            self.obs
+                .counter_add("medes.registry.inserts", (self.entries - before) as u64);
+            self.obs
+                .gauge_set("medes.registry.entries", self.entries as f64);
         }
     }
 
@@ -95,6 +123,11 @@ impl FingerprintRegistry {
                 .then_with(|| a.loc.sandbox.cmp(&b.loc.sandbox))
                 .then_with(|| a.loc.page.cmp(&b.loc.page))
         });
+        if self.obs.enabled() {
+            self.obs.incr("medes.registry.lookups");
+            self.obs
+                .record("medes.registry.candidates", out.len() as u64);
+        }
         out
     }
 
@@ -112,6 +145,11 @@ impl FingerprintRegistry {
                     self.table.remove(&h);
                 }
             }
+        }
+        if self.obs.enabled() {
+            self.obs.incr("medes.registry.evictions");
+            self.obs
+                .gauge_set("medes.registry.entries", self.entries as f64);
         }
     }
 
@@ -249,5 +287,19 @@ mod tests {
         reg.lookup(&fp);
         reg.lookup(&fp);
         assert_eq!(reg.lookups(), 2);
+    }
+
+    #[test]
+    fn obs_mirrors_registry_activity() {
+        let obs = Obs::new(medes_obs::ObsConfig::enabled());
+        let cfg = FingerprintConfig::default();
+        let mut reg = FingerprintRegistry::with_obs(Arc::clone(&obs));
+        let fp = page_fingerprint(&random_page(9), &cfg);
+        reg.insert_page(&fp, loc(1, 0));
+        reg.lookup(&fp);
+        assert_eq!(obs.counter("medes.registry.inserts"), fp.len() as u64);
+        assert_eq!(obs.counter("medes.registry.lookups"), 1);
+        reg.remove_sandbox(SandboxId(1));
+        assert_eq!(obs.counter("medes.registry.evictions"), 1);
     }
 }

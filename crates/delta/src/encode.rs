@@ -128,7 +128,7 @@ pub fn encode(base: &[u8], target: &[u8], cfg: &EncodeConfig) -> Patch {
                     back += 1;
                 }
                 let total = len + back;
-                if best.map_or(true, |(_, _, blen)| total > blen) {
+                if best.is_none_or(|(_, _, blen)| total > blen) {
                     best = Some((b - back, t - back, total));
                 }
             }

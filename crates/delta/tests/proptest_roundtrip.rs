@@ -1,65 +1,96 @@
 //! Property tests: encode→apply must be the identity for *any* pair of
 //! buffers, at every compression level, and serialization must roundtrip.
+//!
+//! Driven by [`DetRng`] loops rather than a property-testing framework
+//! so the workspace builds offline; failures print the seed of the
+//! offending case, which reproduces it exactly.
 
 use medes_delta::{apply, diff, format::Patch};
-use proptest::prelude::*;
+use medes_sim::DetRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_vec(rng: &mut DetRng, max_len: usize) -> Vec<u8> {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
 
-    #[test]
-    fn encode_apply_roundtrip(
-        base in proptest::collection::vec(any::<u8>(), 0..2048),
-        target in proptest::collection::vec(any::<u8>(), 0..2048),
-        level in 0u8..=9,
-    ) {
+fn random_vec_min(rng: &mut DetRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = rng.range(min_len as u64, max_len as u64 + 1) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn encode_apply_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0xD1FF_0000 + case);
+        let base = random_vec(&mut rng, 2048);
+        let target = random_vec(&mut rng, 2048);
+        let level = rng.below(10) as u8;
         let patch = diff(&base, &target, level);
         let out = apply(&base, &patch).expect("apply must succeed");
-        prop_assert_eq!(out, target);
+        assert_eq!(out, target, "case {case} (level {level})");
     }
+}
 
-    #[test]
-    fn related_buffers_roundtrip(
-        base in proptest::collection::vec(any::<u8>(), 64..2048),
-        edits in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..32),
-        level in 1u8..=9,
-    ) {
+#[test]
+fn related_buffers_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0xD1FF_1000 + case);
+        let base = random_vec_min(&mut rng, 64, 2048);
         // Target = base with point edits: the common case for pages.
         let mut target = base.clone();
-        for (idx, val) in edits {
-            let i = idx.index(target.len());
-            target[i] = val;
+        let edits = rng.below(32);
+        for _ in 0..edits {
+            let i = rng.below(target.len() as u64) as usize;
+            target[i] = rng.next_u8();
         }
+        let level = rng.range(1, 10) as u8;
         let patch = diff(&base, &target, level);
         let out = apply(&base, &patch).expect("apply must succeed");
-        prop_assert_eq!(&out, &target);
+        assert_eq!(out, target, "case {case} (level {level})");
         // A patch never needs to be much larger than storing the target.
-        prop_assert!(patch.serialized_size() <= target.len() + 64);
+        assert!(
+            patch.serialized_size() <= target.len() + 64,
+            "case {case}: patch {} vs target {}",
+            patch.serialized_size(),
+            target.len()
+        );
     }
+}
 
-    #[test]
-    fn serialization_roundtrip(
-        base in proptest::collection::vec(any::<u8>(), 0..1024),
-        target in proptest::collection::vec(any::<u8>(), 0..1024),
-        level in 0u8..=9,
-    ) {
+#[test]
+fn serialization_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0xD1FF_2000 + case);
+        let base = random_vec(&mut rng, 1024);
+        let target = random_vec(&mut rng, 1024);
+        let level = rng.below(10) as u8;
         let patch = diff(&base, &target, level);
         let bytes = patch.to_bytes();
-        prop_assert_eq!(bytes.len(), patch.serialized_size());
+        assert_eq!(bytes.len(), patch.serialized_size(), "case {case}");
         let parsed = Patch::from_bytes(&bytes).expect("parse must succeed");
-        prop_assert_eq!(parsed, patch);
+        assert_eq!(parsed, patch, "case {case}");
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn parser_never_panics_on_garbage() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0xD1FF_3000 + case);
+        let data = random_vec(&mut rng, 512);
         let _ = Patch::from_bytes(&data); // must not panic
     }
+}
 
-    #[test]
-    fn apply_never_panics_on_parsed_garbage(
-        mut data in proptest::collection::vec(any::<u8>(), 4..512),
-        base in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
+#[test]
+fn apply_never_panics_on_parsed_garbage() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0xD1FF_4000 + case);
+        let mut data = random_vec_min(&mut rng, 4, 512);
+        let base = random_vec(&mut rng, 256);
         data[..4].copy_from_slice(b"MDp1");
         if let Ok(patch) = Patch::from_bytes(&data) {
             let _ = apply(&base, &patch); // must not panic

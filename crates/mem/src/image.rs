@@ -104,7 +104,7 @@ impl ImageBuilder {
 
         // Anonymous memory: file mappings, heap, stack.
         let anon = self.spec.anon_bytes();
-        let stack_paper = (anon / 10).min(256 << 10).max(PAGE_SIZE);
+        let stack_paper = (anon / 10).clamp(PAGE_SIZE, 256 << 10);
         let filemap_paper = anon * 15 / 100;
         let heap_paper = anon
             .saturating_sub(stack_paper + filemap_paper)

@@ -79,7 +79,7 @@ pub fn redundancy(a: &MemoryImage, b: &MemoryImage, k: usize) -> RedundancyRepor
                 }
                 let matched = extend_match(a_page, b_page, a_off, b_off, k, 2 * k);
                 let span = locate_extension(a_page, b_page, a_off, b_off, k, matched);
-                if best.map_or(true, |(_, len)| span.1 > len) {
+                if best.is_none_or(|(_, len)| span.1 > len) {
                     best = Some(span);
                 }
                 if matched == 2 * k {

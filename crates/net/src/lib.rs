@@ -11,12 +11,16 @@
 //!
 //! [`Fabric`] prices both deterministically from a [`NetConfig`]
 //! (propagation latency, per-op overhead, link bandwidth) and keeps
-//! transfer statistics for the overhead reports of §7.7.
+//! transfer statistics for the overhead reports of §7.7. Built with
+//! [`Fabric::with_obs`], it additionally mirrors every operation into
+//! `medes.net.*` counters and latency histograms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use medes_obs::Obs;
 use medes_sim::SimDuration;
+use std::sync::Arc;
 
 /// Node identifier within the fabric.
 pub type NodeIdx = usize;
@@ -68,16 +72,23 @@ pub struct Fabric {
     nodes: usize,
     cfg: NetConfig,
     stats: FabricStats,
+    obs: Arc<Obs>,
 }
 
 impl Fabric {
-    /// Creates a fabric over `nodes` nodes.
+    /// Creates a fabric over `nodes` nodes (observability disabled).
     pub fn new(nodes: usize, cfg: NetConfig) -> Self {
+        Self::with_obs(nodes, cfg, Obs::disabled())
+    }
+
+    /// Creates a fabric that records `medes.net.*` metrics.
+    pub fn with_obs(nodes: usize, cfg: NetConfig, obs: Arc<Obs>) -> Self {
         assert!(nodes > 0, "fabric needs at least one node");
         Fabric {
             nodes,
             cfg,
             stats: FabricStats::default(),
+            obs,
         }
     }
 
@@ -104,12 +115,19 @@ impl Fabric {
         self.check(src);
         self.stats.rdma_reads += 1;
         self.stats.rdma_bytes += bytes as u64;
-        if dst == src {
-            return SimDuration::from_secs_f64(bytes as f64 / self.cfg.local_mem_bps);
+        let t = if dst == src {
+            SimDuration::from_secs_f64(bytes as f64 / self.cfg.local_mem_bps)
+        } else {
+            self.cfg.base_latency
+                + self.cfg.rdma_op_overhead
+                + SimDuration::from_secs_f64(bytes as f64 / self.cfg.bandwidth_bps)
+        };
+        if self.obs.enabled() {
+            self.obs.incr("medes.net.rdma_reads");
+            self.obs.counter_add("medes.net.rdma_bytes", bytes as u64);
+            self.obs.record_us("medes.net.rdma_read_us", t);
         }
-        self.cfg.base_latency
-            + self.cfg.rdma_op_overhead
-            + SimDuration::from_secs_f64(bytes as f64 / self.cfg.bandwidth_bps)
+        t
     }
 
     /// Cost of a batch of RDMA reads to (possibly) many sources.
@@ -141,6 +159,13 @@ impl Fabric {
                 + self.cfg.rdma_op_overhead.mul_f64(ops as f64)
                 + SimDuration::from_secs_f64(remote_bytes as f64 / self.cfg.bandwidth_bps);
         }
+        if self.obs.enabled() && !reads.is_empty() {
+            self.obs
+                .counter_add("medes.net.rdma_reads", reads.len() as u64);
+            self.obs
+                .counter_add("medes.net.rdma_bytes", (local_bytes + remote_bytes) as u64);
+            self.obs.record_us("medes.net.rdma_batch_us", t);
+        }
         t
     }
 
@@ -156,12 +181,22 @@ impl Fabric {
         self.check(b);
         self.stats.rpcs += 1;
         self.stats.rpc_bytes += (req_bytes + resp_bytes) as u64;
-        if a == b {
-            return self.cfg.rpc_overhead;
+        let t = if a == b {
+            self.cfg.rpc_overhead
+        } else {
+            self.cfg.rpc_overhead
+                + self.cfg.base_latency.mul_f64(2.0)
+                + SimDuration::from_secs_f64(
+                    (req_bytes + resp_bytes) as f64 / self.cfg.bandwidth_bps,
+                )
+        };
+        if self.obs.enabled() {
+            self.obs.incr("medes.net.rpcs");
+            self.obs
+                .counter_add("medes.net.rpc_bytes", (req_bytes + resp_bytes) as u64);
+            self.obs.record_us("medes.net.rpc_us", t);
         }
-        self.cfg.rpc_overhead
-            + self.cfg.base_latency.mul_f64(2.0)
-            + SimDuration::from_secs_f64((req_bytes + resp_bytes) as f64 / self.cfg.bandwidth_bps)
+        t
     }
 
     fn check(&self, n: NodeIdx) {
@@ -242,5 +277,24 @@ mod tests {
     fn bad_node_panics() {
         let mut f = fabric();
         let _ = f.rdma_read(0, 9, 64);
+    }
+
+    #[test]
+    fn obs_mirrors_fabric_traffic() {
+        let obs = Obs::new(medes_obs::ObsConfig::enabled());
+        let mut f = Fabric::with_obs(4, NetConfig::default(), Arc::clone(&obs));
+        f.rdma_read(0, 1, 4096);
+        f.rdma_read_batch(0, &[(1, 100), (2, 200)]);
+        f.rpc(0, 1, 10, 20);
+        assert_eq!(obs.counter("medes.net.rdma_reads"), 3);
+        assert_eq!(obs.counter("medes.net.rdma_bytes"), 4096 + 300);
+        assert_eq!(obs.counter("medes.net.rpcs"), 1);
+        assert_eq!(obs.counter("medes.net.rpc_bytes"), 30);
+        let n = obs.with_histogram("medes.net.rdma_read_us", |h| h.count());
+        assert_eq!(n, Some(1));
+        // The disabled path records nothing.
+        let mut quiet = Fabric::new(4, NetConfig::default());
+        quiet.rdma_read(0, 1, 4096);
+        assert_eq!(quiet.stats().rdma_reads, 1);
     }
 }

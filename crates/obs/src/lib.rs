@@ -1,0 +1,343 @@
+//! Structured tracing and metrics for the Medes reproduction.
+//!
+//! Zero-external-dependency observability layer: simulated-time spans
+//! ([`Span`]) in a bounded ring buffer exportable as JSONL, plus a
+//! [`MetricsRegistry`] of named counters, gauges, and log-linear
+//! histograms. All hot paths go through [`Obs`], which is a cheap
+//! no-op when [`ObsConfig::enabled`] is false.
+//!
+//! Naming convention: `medes.<subsystem>.<name>` for both spans and
+//! metrics (see DESIGN.md, "Observability").
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use json::{Json, JsonMap, ParseError};
+pub use metrics::{LogLinearHistogram, Metric, MetricsRegistry};
+pub use span::{AttrValue, ParsedSpan, Span, SpanRecord, Tracer};
+
+use medes_sim::SimTime;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Observability configuration, carried on `PlatformConfig`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Master switch. When false every span/metric call is a no-op.
+    pub enabled: bool,
+    /// Ring-buffer capacity for spans (oldest dropped when full).
+    pub span_buffer_cap: usize,
+    /// When set, finished runs export `trace-<run_tag>-<n>.jsonl` here.
+    pub export_dir: Option<PathBuf>,
+    /// Tag embedded in exported trace filenames.
+    pub run_tag: String,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            span_buffer_cap: 1 << 16,
+            export_dir: None,
+            run_tag: "run".to_string(),
+        }
+    }
+}
+
+impl ObsConfig {
+    /// An enabled config with default buffer size and no export.
+    pub fn enabled() -> Self {
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Sets the export directory (builder style).
+    pub fn export_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.export_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the run tag (builder style).
+    pub fn tagged(mut self, tag: impl Into<String>) -> Self {
+        self.run_tag = tag.into();
+        self
+    }
+}
+
+/// Distinguishes trace files exported by successive runs within one
+/// process (simulated time restarts at zero each run, so wall-clock or
+/// sim time can't disambiguate).
+static EXPORT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Shared observability handle. Clone the `Arc<Obs>` into every
+/// subsystem; interior mutability keeps call sites borrow-friendly.
+#[derive(Debug)]
+pub struct Obs {
+    enabled: bool,
+    cfg: ObsConfig,
+    tracer: Mutex<Tracer>,
+    metrics: Mutex<MetricsRegistry>,
+}
+
+impl Obs {
+    /// Creates a handle from a config.
+    pub fn new(cfg: ObsConfig) -> Arc<Obs> {
+        let cap = if cfg.enabled { cfg.span_buffer_cap } else { 0 };
+        Arc::new(Obs {
+            enabled: cfg.enabled,
+            tracer: Mutex::new(Tracer::new(cap)),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            cfg,
+        })
+    }
+
+    /// A permanently-disabled handle (every call is a no-op).
+    pub fn disabled() -> Arc<Obs> {
+        Obs::new(ObsConfig::default())
+    }
+
+    /// Whether instrumentation is live.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The config this handle was built from.
+    pub fn config(&self) -> &ObsConfig {
+        &self.cfg
+    }
+
+    /// Starts a span at `start` (simulated time). Record it with
+    /// [`Span::end`]. No allocation happens while disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str, start: SimTime) -> Span<'_> {
+        Span {
+            obs: self,
+            name,
+            start,
+            attrs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record_span(&self, span: SpanRecord) {
+        self.tracer.lock().unwrap().record(span);
+    }
+
+    /// Adds to a counter.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if self.enabled {
+            self.metrics.lock().unwrap().counter_add(name, delta);
+        }
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn incr(&self, name: &'static str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        if self.enabled {
+            self.metrics.lock().unwrap().gauge_set(name, value);
+        }
+    }
+
+    /// Records a histogram sample.
+    #[inline]
+    pub fn record(&self, name: &'static str, sample: u64) {
+        if self.enabled {
+            self.metrics.lock().unwrap().record(name, sample);
+        }
+    }
+
+    /// Records a histogram sample from a [`medes_sim::SimDuration`]'s
+    /// microsecond count.
+    #[inline]
+    pub fn record_us(&self, name: &'static str, d: medes_sim::SimDuration) {
+        self.record(name, d.as_micros());
+    }
+
+    /// Number of spans currently buffered.
+    pub fn span_count(&self) -> usize {
+        self.tracer.lock().unwrap().len()
+    }
+
+    /// Spans evicted due to a full buffer.
+    pub fn spans_dropped(&self) -> u64 {
+        self.tracer.lock().unwrap().dropped()
+    }
+
+    /// Copies out all buffered spans, oldest-first (buffer unchanged).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.tracer.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Name-sorted metrics snapshot.
+    pub fn metrics_snapshot(&self) -> Vec<(&'static str, Metric)> {
+        self.metrics.lock().unwrap().snapshot()
+    }
+
+    /// Current counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.lock().unwrap().counter(name)
+    }
+
+    /// Runs `f` against the histogram under `name`, if present.
+    pub fn with_histogram<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&LogLinearHistogram) -> R,
+    ) -> Option<R> {
+        let m = self.metrics.lock().unwrap();
+        m.histogram(name).map(f)
+    }
+
+    /// Renders all buffered spans as JSONL (one span object per line,
+    /// oldest first), followed by one `{"metrics": {...}}` line.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in self.tracer.lock().unwrap().iter() {
+            out.push_str(&span.to_json().to_string());
+            out.push('\n');
+        }
+        let metrics = self.metrics.lock().unwrap().to_json();
+        let mut tail = JsonMap::new();
+        tail.insert("metrics", metrics);
+        out.push_str(&Json::Object(tail).to_string());
+        out.push('\n');
+        out
+    }
+
+    /// Writes the JSONL export to
+    /// `<export_dir>/trace-<run_tag>-<seq>.jsonl`, creating directories
+    /// as needed. Returns the path written, or `None` when disabled or
+    /// no export dir is configured.
+    pub fn write_trace(&self) -> std::io::Result<Option<PathBuf>> {
+        if !self.enabled {
+            return Ok(None);
+        }
+        let Some(dir) = &self.cfg.export_dir else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let seq = EXPORT_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("trace-{}-{seq}.jsonl", self.cfg.run_tag));
+        std::fs::write(&path, self.export_jsonl())?;
+        Ok(Some(path))
+    }
+}
+
+/// Reads spans back from a JSONL trace file's contents, skipping the
+/// metrics tail line and any malformed lines.
+pub fn parse_jsonl(contents: &str) -> Vec<ParsedSpan> {
+    contents
+        .lines()
+        .filter_map(SpanRecord::parse_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn span_records_with_attrs() {
+        let obs = Obs::new(ObsConfig::enabled());
+        obs.span("medes.dedup.op", t(10))
+            .attr("fn", "resnet")
+            .attr("bytes", 4096u64)
+            .end(t(250));
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "medes.dedup.op");
+        assert_eq!(spans[0].dur_us(), 240);
+        assert_eq!(spans[0].attr("fn"), Some(&AttrValue::Str("resnet".into())));
+    }
+
+    #[test]
+    fn disabled_is_a_noop() {
+        let obs = Obs::disabled();
+        obs.span("medes.dedup.op", t(0)).attr("k", 1u64).end(t(100));
+        obs.incr("medes.platform.arrivals");
+        obs.gauge_set("medes.registry.entries", 1.0);
+        obs.record("medes.net.rdma_read_us", 5);
+        assert_eq!(obs.span_count(), 0);
+        assert_eq!(obs.spans_dropped(), 0);
+        assert_eq!(obs.counter("medes.platform.arrivals"), 0);
+        assert!(obs.metrics_snapshot().is_empty());
+        assert_eq!(obs.write_trace().unwrap(), None);
+    }
+
+    #[test]
+    fn disabled_span_does_not_allocate_attrs() {
+        let obs = Obs::disabled();
+        let span = obs.span("medes.test", t(0)).attr("a", 1u64).attr("b", "x");
+        assert_eq!(span.attrs.capacity(), 0);
+    }
+
+    #[test]
+    fn buffer_cap_is_respected() {
+        let cfg = ObsConfig {
+            enabled: true,
+            span_buffer_cap: 4,
+            ..ObsConfig::default()
+        };
+        let obs = Obs::new(cfg);
+        for i in 0..10u64 {
+            obs.span("s", t(i)).end(t(i + 1));
+        }
+        assert_eq!(obs.span_count(), 4);
+        assert_eq!(obs.spans_dropped(), 6);
+        assert_eq!(obs.spans()[0].start_us, 6);
+    }
+
+    #[test]
+    fn export_and_parse_jsonl() {
+        let obs = Obs::new(ObsConfig::enabled());
+        obs.span("medes.restore.base_read", t(100))
+            .attr("bytes", 8192u64)
+            .end(t(400));
+        obs.span("medes.restore.ckpt", t(400)).end(t(900));
+        obs.incr("medes.platform.starts.dedup");
+        let text = obs.export_jsonl();
+        assert_eq!(text.lines().count(), 3); // 2 spans + metrics tail
+        let spans = parse_jsonl(&text);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "medes.restore.base_read");
+        assert_eq!(spans[0].dur_us(), 300);
+        assert_eq!(spans[1].dur_us(), 500);
+        // Metrics tail is valid JSON.
+        let tail = text.lines().last().unwrap();
+        let v = json::parse(tail).unwrap();
+        assert_eq!(v["metrics"]["medes.platform.starts.dedup"], 1);
+    }
+
+    #[test]
+    fn write_trace_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("medes-obs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ObsConfig::enabled()
+            .export_to(dir.join("nested"))
+            .tagged("unit");
+        let obs = Obs::new(cfg);
+        obs.span("s", t(0)).end(t(1));
+        let path = obs.write_trace().unwrap().expect("path");
+        assert!(path.exists());
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_jsonl(&contents).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

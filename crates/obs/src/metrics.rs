@@ -1,0 +1,361 @@
+//! Named counters, gauges, and log-linear histograms.
+//!
+//! Histograms use log-linear bucketing (HdrHistogram-style): values are
+//! grouped by power-of-two octave, each octave split into
+//! [`SUB_BUCKETS`] linear sub-buckets, so quantile estimates carry a
+//! bounded relative error (≤ 1/SUB_BUCKETS ≈ 3%) without storing
+//! samples. Metric names follow `medes.<subsystem>.<name>`.
+
+use crate::json::{Json, JsonMap};
+use std::collections::HashMap;
+
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: usize = 32;
+/// Octaves covered (u64 range).
+const OCTAVES: usize = 64;
+
+/// A log-linear histogram of non-negative integer samples (e.g.
+/// microseconds or bytes). Memory is a fixed ~16 KiB regardless of
+/// sample count.
+#[derive(Debug, Clone)]
+pub struct LogLinearHistogram {
+    buckets: Box<[u64; OCTAVES * SUB_BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        LogLinearHistogram {
+            buckets: Box::new([0; OCTAVES * SUB_BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        // First octaves: exact (bucket width 1).
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize;
+    // Position within the octave, scaled to SUB_BUCKETS slots.
+    let offset = ((v - (1 << octave)) >> (octave - SUB_BUCKETS.trailing_zeros() as usize)) as usize;
+    octave * SUB_BUCKETS + offset.min(SUB_BUCKETS - 1)
+}
+
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB_BUCKETS {
+        return (idx as u64, idx as u64);
+    }
+    let octave = idx / SUB_BUCKETS;
+    let offset = (idx % SUB_BUCKETS) as u64;
+    let width = 1u64 << (octave - SUB_BUCKETS.trailing_zeros() as usize);
+    let lo = (1u64 << octave) + offset * width;
+    (lo, lo + (width - 1))
+}
+
+impl LogLinearHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (None when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (None when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`). Returns the midpoint
+    /// of the bucket holding the target rank, clamped to the observed
+    /// min/max; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                let mid = (lo as f64 + hi as f64) / 2.0;
+                return Some(mid.clamp(self.min as f64, self.max as f64));
+            }
+        }
+        Some(self.max as f64)
+    }
+
+    /// Serializes summary stats (not per-bucket counts) to JSON.
+    pub fn to_json(&self) -> Json {
+        let mut m = JsonMap::new();
+        m.insert("count", self.count);
+        m.insert("mean", self.mean());
+        m.insert("min", self.min().map(|v| v as f64));
+        m.insert("max", self.max().map(|v| v as f64));
+        m.insert("p50", self.quantile(0.50));
+        m.insert("p99", self.quantile(0.99));
+        m.insert("p999", self.quantile(0.999));
+        Json::Object(m)
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Log-linear histogram.
+    Hist(LogLinearHistogram),
+}
+
+/// A registry of named metrics. Names should be `'static` dotted paths
+/// (`medes.net.rdma_bytes`).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: HashMap<&'static str, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds to a counter (creates it at 0 first).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        match self.metrics.entry(name).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric {name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        match self.metrics.entry(name).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric {name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records a histogram sample.
+    pub fn record(&mut self, name: &'static str, sample: u64) {
+        match self
+            .metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Hist(LogLinearHistogram::new()))
+        {
+            Metric::Hist(h) => h.record(sample),
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Current counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Current gauge value (None if absent).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&LogLinearHistogram> {
+        match self.metrics.get(name) {
+            Some(Metric::Hist(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Name-sorted snapshot of all metrics.
+    pub fn snapshot(&self) -> Vec<(&'static str, Metric)> {
+        let mut out: Vec<_> = self.metrics.iter().map(|(k, v)| (*k, v.clone())).collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Serializes all metrics to a JSON object (name-sorted).
+    pub fn to_json(&self) -> Json {
+        let mut m = JsonMap::new();
+        for (name, metric) in self.snapshot() {
+            match metric {
+                Metric::Counter(v) => m.insert(name, v),
+                Metric::Gauge(v) => m.insert(name, v),
+                Metric::Hist(h) => m.insert(name, h.to_json()),
+            }
+        }
+        Json::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medes_sim::DetRng;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_bounds_contain() {
+        let mut prev = 0usize;
+        for v in (0..100_000u64).step_by(37) {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index not monotonic at {v}");
+            prev = idx;
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} not in [{lo},{hi}] (idx {idx})");
+        }
+        // Spot-check huge values don't panic.
+        for v in [u64::MAX, u64::MAX / 2, 1 << 62] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogLinearHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        // With bucket width 1 below SUB_BUCKETS, quantiles are exact.
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(31.0));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(31));
+    }
+
+    /// Acceptance criterion: quantile accuracy vs. exact sort on 10k
+    /// samples.
+    #[test]
+    fn quantiles_match_exact_sort_within_relative_error() {
+        let mut rng = DetRng::new(0x0b5e_11a7);
+        let mut h = LogLinearHistogram::new();
+        let mut samples: Vec<u64> = Vec::with_capacity(10_000);
+        for _ in 0..10_000 {
+            // Heavy-tailed latency-like distribution, ~1µs..~1s.
+            let v = (rng.log_normal(8.0, 2.0) as u64).clamp(1, 1_000_000_000);
+            h.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for q in [0.01, 0.10, 0.50, 0.90, 0.99, 0.999] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1] as f64;
+            let est = h.quantile(q).unwrap();
+            let rel = (est - exact).abs() / exact.max(1.0);
+            // Log-linear bound is 1/SUB_BUCKETS per-bucket; allow a bit
+            // of slack for rank landing mid-bucket.
+            assert!(
+                rel < 0.05,
+                "q={q}: est {est} vs exact {exact} (rel {rel:.4})"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        let mean_exact = samples.iter().map(|&v| v as f64).sum::<f64>() / 10_000.0;
+        assert!((h.mean() - mean_exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_none() {
+        let h = LogLinearHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_all_quantiles_equal_it() {
+        let mut h = LogLinearHistogram::new();
+        h.record(12345);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(12345.0));
+        }
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("medes.platform.starts.warm", 1);
+        m.counter_add("medes.platform.starts.warm", 2);
+        m.gauge_set("medes.registry.entries", 42.0);
+        m.record("medes.net.rdma_read_us", 10);
+        m.record("medes.net.rdma_read_us", 20);
+        assert_eq!(m.counter("medes.platform.starts.warm"), 3);
+        assert_eq!(m.gauge("medes.registry.entries"), Some(42.0));
+        assert_eq!(m.histogram("medes.net.rdma_read_us").unwrap().count(), 2);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.len(), 3);
+
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(k, _)| *k).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+
+        let j = m.to_json();
+        assert_eq!(j["medes.platform.starts.warm"], 3);
+        assert_eq!(j["medes.net.rdma_read_us"]["count"], 2);
+    }
+}

@@ -462,6 +462,101 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_single_sample() {
+        let mut p = Percentiles::new();
+        p.record(42.0);
+        // Every quantile of a one-sample distribution is that sample.
+        assert_eq!(p.quantile(0.0), Some(42.0));
+        assert_eq!(p.quantile(0.5), Some(42.0));
+        assert_eq!(p.quantile(1.0), Some(42.0));
+        assert_eq!(p.median(), Some(42.0));
+        assert_eq!(p.mean(), 42.0);
+        assert_eq!(p.cdf(10), vec![(42.0, 1.0)]);
+    }
+
+    #[test]
+    fn percentiles_extreme_q_clamps() {
+        let mut p = Percentiles::new();
+        for x in [3.0, 1.0, 2.0] {
+            p.record(x);
+        }
+        // Out-of-range q clamps to the min/max sample, never panics.
+        assert_eq!(p.quantile(-1.0), Some(1.0));
+        assert_eq!(p.quantile(2.0), Some(3.0));
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn streaming_stats_variance_matches_closed_form() {
+        // Welford's update must agree with the two-pass population
+        // formula sum((x - mean)^2) / n on an awkward spread of values.
+        let data: Vec<f64> = (0..500)
+            .map(|i| 1e6 + ((i * i) % 997) as f64 * 0.25)
+            .collect();
+        let mut s = StreamingStats::new();
+        for &x in &data {
+            s.record(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((s.mean() - mean).abs() / mean < 1e-12);
+        assert!(
+            (s.variance() - var).abs() / var < 1e-9,
+            "welford {} vs exact {var}",
+            s.variance()
+        );
+    }
+
+    #[test]
+    fn streaming_stats_degenerate_counts() {
+        let mut s = StreamingStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.variance(), 0.0);
+        s.record(5.0);
+        // One sample: variance is undefined; we report 0, not NaN.
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.mean(), 5.0);
+    }
+
+    #[test]
+    fn time_weighted_out_of_order_update_is_safe() {
+        let mut tw = TimeWeighted::new(SimDuration::from_secs(1));
+        tw.update(SimTime::from_secs(10), 4.0);
+        // A stale (earlier) update must not subtract from the integral:
+        // `since` saturates, so the interval contributes zero weight.
+        tw.update(SimTime::from_secs(5), 8.0);
+        let mean = tw.mean_until(SimTime::from_secs(10));
+        assert!(mean.is_finite());
+        assert!(mean >= 0.0, "mean {mean}");
+    }
+
+    #[test]
+    fn time_weighted_zero_duration_updates() {
+        let mut tw = TimeWeighted::new(SimDuration::from_secs(1));
+        // Two updates at the same instant: the later value wins and the
+        // zero-length interval adds no weight.
+        tw.update(SimTime::from_secs(1), 100.0);
+        tw.update(SimTime::from_secs(1), 2.0);
+        tw.update(SimTime::from_secs(3), 2.0);
+        let mean = tw.mean_until(SimTime::from_secs(3));
+        // [1s,3s) at value 2.0 over a 3s window -> integral 4/3s... but
+        // the first second (before any update) weighs zero.
+        assert!((mean - 2.0 * 2.0 / 3.0).abs() < 1e-9, "mean {mean}");
+        assert_eq!(tw.current(), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_until_zero_span() {
+        let mut tw = TimeWeighted::new(SimDuration::from_secs(1));
+        tw.update(SimTime::ZERO, 7.0);
+        // Zero-length window: falls back to the current value rather
+        // than dividing by zero.
+        assert_eq!(tw.mean_until(SimTime::ZERO), 7.0);
+    }
+
+    #[test]
     fn time_weighted_mean() {
         let mut tw = TimeWeighted::new(SimDuration::from_secs(1));
         tw.update(SimTime::ZERO, 10.0);

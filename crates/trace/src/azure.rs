@@ -10,10 +10,9 @@
 
 use crate::trace::Trace;
 use medes_sim::{DetRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A per-function arrival pattern.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalPattern {
     /// Memoryless arrivals at `rate_per_min`.
     Poisson {
@@ -175,7 +174,7 @@ impl ArrivalPattern {
 }
 
 /// Configuration for [`azure_like_trace`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceGenConfig {
     /// Trace duration, seconds.
     pub duration_secs: u64,

@@ -1,10 +1,10 @@
 //! Invocation traces.
 
+use medes_obs::json::{self, Json, JsonMap};
 use medes_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One function invocation request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Invocation {
     /// Arrival time, microseconds since trace start.
     pub time_us: u64,
@@ -22,7 +22,7 @@ impl Invocation {
 }
 
 /// A time-sorted multi-function invocation trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Function names, indexed by [`Invocation::function`].
     pub functions: Vec<String>,
@@ -129,14 +129,67 @@ impl Trace {
         }
     }
 
-    /// Serializes to JSON.
+    /// Serializes to JSON. Invocations are stored as compact
+    /// `[time_us, function, id]` triples.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialization cannot fail")
+        let mut obj = JsonMap::new();
+        obj.insert(
+            "functions",
+            Json::Array(self.functions.iter().map(Json::from).collect()),
+        );
+        obj.insert(
+            "invocations",
+            Json::Array(
+                self.invocations
+                    .iter()
+                    .map(|inv| {
+                        Json::Array(vec![
+                            Json::from(inv.time_us),
+                            Json::from(inv.function),
+                            Json::from(inv.id),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        obj.insert("duration_us", self.duration_us);
+        Json::Object(obj).to_string()
     }
 
-    /// Parses a JSON trace.
-    pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Parses a JSON trace produced by [`Trace::to_json`].
+    pub fn from_json(text: &str) -> Result<Trace, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let functions = v
+            .get("functions")
+            .and_then(Json::as_array)
+            .ok_or("missing functions array")?
+            .iter()
+            .map(|f| f.as_str().map(str::to_string).ok_or("non-string function"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let invocations = v
+            .get("invocations")
+            .and_then(Json::as_array)
+            .ok_or("missing invocations array")?
+            .iter()
+            .map(|item| {
+                let triple = item.as_array().filter(|a| a.len() == 3);
+                let triple = triple.ok_or("invocation is not a [time, fn, id] triple")?;
+                Ok(Invocation {
+                    time_us: triple[0].as_u64().ok_or("bad time_us")?,
+                    function: triple[1].as_u64().ok_or("bad function index")? as usize,
+                    id: triple[2].as_u64().ok_or("bad id")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let duration_us = v
+            .get("duration_us")
+            .and_then(Json::as_u64)
+            .ok_or("missing duration_us")?;
+        Ok(Trace {
+            functions,
+            invocations,
+            duration_us,
+        })
     }
 }
 
@@ -190,6 +243,17 @@ mod tests {
         assert_eq!(back.len(), tr.len());
         assert_eq!(back.functions, tr.functions);
         assert_eq!(back.duration_us, tr.duration_us);
+        assert_eq!(back.invocations, tr.invocations);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(Trace::from_json("not json").is_err());
+        assert!(Trace::from_json("{}").is_err());
+        assert!(
+            Trace::from_json(r#"{"functions": [], "invocations": [[1]], "duration_us": 5}"#)
+                .is_err()
+        );
     }
 
     #[test]

@@ -74,8 +74,8 @@ fn main() {
     cfg.nodes = 4;
     cfg.mem_scale = 256;
     cfg.node_mem_bytes = 256 << 20; // tight enough that idle pools dedup
-    // Ask the §5 optimizer to hold the cluster under a 400 MB budget
-    // (policy P2): idle sandboxes beyond what the load needs deduplicate.
+                                    // Ask the §5 optimizer to hold the cluster under a 400 MB budget
+                                    // (policy P2): idle sandboxes beyond what the load needs deduplicate.
     if let medes::platform::config::PolicyKind::Medes(m) = &mut cfg.policy {
         m.idle_period = medes::sim::SimDuration::from_secs(20);
         m.objective = medes::policy::medes::Objective::MemoryBudget {
