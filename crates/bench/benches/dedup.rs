@@ -82,6 +82,7 @@ fn bench_dedup_op(c: &mut Criterion) {
                 &target,
                 &|id| (id == SandboxId(1)).then(|| (Arc::clone(&base2), FnId(0))),
             )
+            .expect("dedup op")
         })
     });
 }
@@ -97,7 +98,8 @@ fn bench_restore_op(c: &mut Criterion) {
         FnId(0),
         &target,
         &|id| (id == SandboxId(1)).then(|| (Arc::clone(&base2), FnId(0))),
-    );
+    )
+    .expect("dedup op");
     let base3 = Arc::clone(&base);
     c.bench_function("restore_op_vanilla_sandbox", |b| {
         b.iter(|| {

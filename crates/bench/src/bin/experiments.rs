@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <id>... [--quick] [--results <dir>] [--obs]
+//! experiments <id>... [--quick] [--results <dir>] [--obs] [--faults rate=<f>[,seed=<u64>]]
 //! experiments all [--quick]
 //! experiments list
 //! experiments trace summarize <trace.jsonl> [--top <n>]
@@ -10,15 +10,20 @@
 //! `--obs` turns on the `medes-obs` tracing layer: every platform run
 //! also exports a JSONL span trace into the results directory, which
 //! `trace summarize` renders as a per-phase latency breakdown.
+//!
+//! `--faults` injects a deterministic fault plan (node crashes, RDMA
+//! link-fault windows, RPC drops) into every cluster run, synthesized
+//! from the seed at the experiment's scale. The `chaos` experiment
+//! sweeps fault rates on its own and ignores this flag.
 
-use medes_bench::common::ExpConfig;
+use medes_bench::common::{ExpConfig, FaultSpec};
 use medes_bench::{experiments, summarize};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--quick] [--results <dir>] [--obs]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\nids: {}",
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--faults rate=<f>[,seed=<u64>]]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\nids: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -79,6 +84,12 @@ fn main() {
                 if let Some(dir) = it.next() {
                     cfg.results_dir = PathBuf::from(dir);
                 }
+            }
+            "--faults" => {
+                let Some(spec) = it.next().and_then(|s| FaultSpec::parse(s)) else {
+                    usage();
+                };
+                cfg.faults = Some(spec);
             }
             "list" => {
                 for id in experiments::ALL {

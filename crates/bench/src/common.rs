@@ -5,9 +5,42 @@ use medes_core::metrics::RunReport;
 use medes_core::platform::Platform;
 use medes_policy::medes::Objective;
 use medes_policy::MedesPolicyConfig;
-use medes_sim::SimDuration;
+use medes_sim::fault::FaultPlan;
+use medes_sim::{SimDuration, SimTime};
 use medes_trace::{azure_like_trace, functionbench_suite, FunctionProfile, Trace, TraceGenConfig};
 use std::path::PathBuf;
+
+/// Default seed for synthesized fault plans (`--faults` without `seed=`).
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA17;
+
+/// A `--faults rate=<f>[,seed=<u64>]` specification: the fault plan is
+/// synthesized deterministically from the seed at the experiment's
+/// cluster size and trace duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Fault intensity knob passed to [`FaultPlan::synthesize`].
+    pub rate: f64,
+    /// Plan seed (deterministic across runs).
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// Parses `rate=<f>[,seed=<u64>]` (order-insensitive). Returns
+    /// `None` on malformed input so the caller can print usage.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut rate = None;
+        let mut seed = DEFAULT_FAULT_SEED;
+        for part in s.split(',') {
+            let (k, v) = part.split_once('=')?;
+            match k.trim() {
+                "rate" => rate = Some(v.trim().parse::<f64>().ok()?),
+                "seed" => seed = v.trim().parse::<u64>().ok()?,
+                _ => return None,
+            }
+        }
+        Some(FaultSpec { rate: rate?, seed })
+    }
+}
 
 /// Experiment-suite configuration: sizes shrink under `--quick`.
 #[derive(Debug, Clone)]
@@ -19,6 +52,10 @@ pub struct ExpConfig {
     /// Enable the `medes-obs` tracing layer (`--obs`): platform runs
     /// export a JSONL span trace to `<results_dir>/trace-<n>.jsonl`.
     pub obs: bool,
+    /// Optional fault injection (`--faults`): synthesized into a
+    /// [`FaultPlan`] by [`ExpConfig::platform`]. `None` keeps every
+    /// experiment byte-identical to the fault-free build.
+    pub faults: Option<FaultSpec>,
 }
 
 impl ExpConfig {
@@ -28,6 +65,7 @@ impl ExpConfig {
             quick: false,
             results_dir: PathBuf::from("results"),
             obs: false,
+            faults: None,
         }
     }
 
@@ -145,6 +183,14 @@ impl ExpConfig {
         if self.obs {
             cfg.obs = medes_obs::ObsConfig::enabled().export_to(self.results_dir.clone());
         }
+        if let Some(spec) = &self.faults {
+            cfg.faults = FaultPlan::synthesize(
+                spec.seed,
+                cfg.nodes,
+                SimTime::from_secs(self.trace_secs()),
+                spec.rate,
+            );
+        }
         cfg
     }
 
@@ -206,6 +252,42 @@ mod tests {
         assert!(q.mem_scale() > f.mem_scale());
         assert_eq!(q.representative_suite().len(), 3);
         assert_eq!(q.suite().len(), 10);
+    }
+
+    #[test]
+    fn fault_spec_parses() {
+        assert_eq!(
+            FaultSpec::parse("rate=0.5"),
+            Some(FaultSpec {
+                rate: 0.5,
+                seed: DEFAULT_FAULT_SEED
+            })
+        );
+        assert_eq!(
+            FaultSpec::parse("rate=1.0,seed=7"),
+            Some(FaultSpec { rate: 1.0, seed: 7 })
+        );
+        assert_eq!(
+            FaultSpec::parse("seed=9,rate=2"),
+            Some(FaultSpec { rate: 2.0, seed: 9 })
+        );
+        assert_eq!(FaultSpec::parse("seed=9"), None);
+        assert_eq!(FaultSpec::parse("rate=x"), None);
+        assert_eq!(FaultSpec::parse("bogus=1"), None);
+    }
+
+    #[test]
+    fn fault_spec_populates_platform_plan() {
+        let mut cfg = ExpConfig::quick();
+        assert!(cfg.platform().faults.is_empty());
+        cfg.faults = Some(FaultSpec {
+            rate: 1.0,
+            seed: 42,
+        });
+        let plan = cfg.platform().faults;
+        assert!(!plan.is_empty());
+        // Same spec, same plan: synthesis is deterministic.
+        assert_eq!(plan, cfg.platform().faults);
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub fn run(cfg: &ExpConfig) -> Report {
             FnId(i),
             &target,
             &resolver,
-        );
+        )
+        .expect("dedup op on a fault-free fabric");
         let restore = restore_op(
             &pcfg,
             &mut fabric,

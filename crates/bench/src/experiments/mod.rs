@@ -1,6 +1,7 @@
 //! One module per paper artifact (table/figure). See `DESIGN.md` for
 //! the experiment index.
 
+pub mod chaos;
 pub mod fig1;
 pub mod fig10;
 pub mod fig12;
@@ -38,6 +39,7 @@ pub const ALL: &[&str] = &[
     "fig15",
     "fig16",
     "overheads",
+    "chaos",
 ];
 
 /// Dispatches one experiment by id.
@@ -59,6 +61,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "fig15" => fig15::run(cfg),
         "fig16" => fig16::run(cfg),
         "overheads" => overheads::run(cfg),
+        "chaos" => chaos::run(cfg),
         _ => return None,
     };
     Some(report)

@@ -70,7 +70,8 @@ pub fn run(cfg: &ExpConfig) -> Report {
             FnId(i),
             &target,
             &resolver,
-        );
+        )
+        .expect("dedup op on a fault-free fabric");
         let saved_frac = outcome.saved_model_bytes() as f64 / target.total_bytes() as f64;
         let saved_mb = saved_frac * p.memory_bytes as f64 / (1 << 20) as f64;
         let paper_pct = PAPER

@@ -3,9 +3,10 @@
 use medes_ckpt::TimingModel;
 use medes_hash::sample::FingerprintConfig;
 use medes_mem::{AslrConfig, ContentModel};
-use medes_net::NetConfig;
+use medes_net::{NetConfig, RetryPolicy};
 use medes_obs::ObsConfig;
 use medes_policy::MedesPolicyConfig;
+use medes_sim::fault::FaultPlan;
 use medes_sim::SimDuration;
 
 /// Which sandbox-management policy the platform runs.
@@ -69,6 +70,12 @@ pub struct PlatformConfig {
     /// Structured tracing/metrics configuration (`medes-obs`). Disabled
     /// by default: the platform then skips all span/metric recording.
     pub obs: ObsConfig,
+    /// Fault-injection plan. Empty (the default) means the fault layer
+    /// is a provable no-op: no schedule is installed and every run is
+    /// byte-identical to a build without fault support.
+    pub faults: FaultPlan,
+    /// Retry/backoff policy for fabric operations under fault injection.
+    pub retry: RetryPolicy,
 }
 
 impl PlatformConfig {
@@ -96,6 +103,8 @@ impl PlatformConfig {
             seed: 0xC0FFEE,
             verify_restores: false,
             obs: ObsConfig::default(),
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
         }
     }
 

@@ -20,7 +20,7 @@ use crate::sandbox::{DedupPageTable, PageEntry};
 use medes_delta::{encode, EncodeConfig};
 use medes_hash::sample::page_fingerprint;
 use medes_mem::{MemoryImage, PAGE_SIZE};
-use medes_net::Fabric;
+use medes_net::{Fabric, NetError};
 use medes_obs::Obs;
 use medes_sim::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -106,6 +106,10 @@ pub type BaseResolver<'a> = dyn Fn(SandboxId) -> Option<(Arc<MemoryImage>, FnId)
 /// `node` is the node hosting the sandbox; `func` its function. The
 /// caller guarantees every candidate the registry returns resolves via
 /// `bases` (the platform pins base images while referenced).
+///
+/// Fails only under fault injection, when the controller fingerprint
+/// RPC or the base-page reads stay broken past the retry policy; the
+/// caller then aborts the dedup and keeps the sandbox warm.
 pub fn dedup_op(
     cfg: &PlatformConfig,
     registry: &mut FingerprintRegistry,
@@ -114,7 +118,7 @@ pub fn dedup_op(
     func: FnId,
     image: &MemoryImage,
     bases: &BaseResolver<'_>,
-) -> DedupOutcome {
+) -> Result<DedupOutcome, NetError> {
     let scale = cfg.mem_scale as f64;
     let paper_pages = image.page_count() as f64 * scale;
 
@@ -184,19 +188,22 @@ pub fn dedup_op(
         }
     }
 
-    let base_read = fabric.rdma_read_batch(node.0, &remote_reads);
+    let lookup_extra = fabric.controller_rpc_check(node.0, &cfg.retry)?;
+    let base_read = fabric
+        .rdma_read_batch_retry(node.0, &remote_reads, &cfg.retry)?
+        .time;
     let timing = DedupTiming {
         checkpoint: cfg
             .ckpt
             .checkpoint_time(cfg.to_paper_bytes(image.total_bytes())),
-        lookup: cfg.lookup_per_page.mul_f64(paper_pages),
+        lookup: cfg.lookup_per_page.mul_f64(paper_pages) + lookup_extra,
         base_read,
         patch_compute: cfg
             .patch_compute_per_page
             .mul_f64(patched_pages as f64 * scale),
     };
 
-    DedupOutcome {
+    Ok(DedupOutcome {
         table: DedupPageTable {
             entries,
             patch_bytes,
@@ -206,7 +213,7 @@ pub fn dedup_op(
         same_fn_pages,
         cross_fn_pages,
         referenced_bases: referenced,
-    }
+    })
 }
 
 /// Inserts every page of a base sandbox's image into the registry.
@@ -271,7 +278,8 @@ mod tests {
             FnId(0),
             &target,
             &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&base_arc), FnId(0))),
-        );
+        )
+        .expect("dedup op");
         let total = target.total_bytes();
         let saved = outcome.saved_model_bytes();
         assert!(
@@ -296,7 +304,8 @@ mod tests {
             FnId(0),
             &target,
             &|_| None,
-        );
+        )
+        .expect("dedup op");
         assert_eq!(outcome.table.verbatim_pages, target.page_count());
         assert_eq!(outcome.saved_model_bytes(), 0);
         assert_eq!(outcome.table.patch_bytes, 0);
@@ -318,7 +327,8 @@ mod tests {
             FnId(0),
             &target,
             &move |id| (id == SandboxId(7)).then(|| (Arc::clone(&base_arc), FnId(1))),
-        );
+        )
+        .expect("dedup op");
         assert!(
             outcome.cross_fn_pages > 0,
             "runtime/pattern pages must dedup across functions"
@@ -350,7 +360,8 @@ mod tests {
             FnId(0),
             &small,
             &resolver,
-        );
+        )
+        .expect("dedup op");
         let o_large = dedup_op(
             &cfg,
             &mut registry,
@@ -359,7 +370,8 @@ mod tests {
             FnId(1),
             &large,
             &resolver,
-        );
+        )
+        .expect("dedup op");
         assert!(o_large.timing.lookup > o_small.timing.lookup);
         assert!(o_large.timing.total() > o_small.timing.total());
         // The paper reports ~2s (Vanilla) to ~3.3s (ModelTrain): with

@@ -23,7 +23,7 @@ pub enum StartType {
 }
 
 /// One completed request.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestRecord {
     /// Trace request id (stable across policies for paired comparison).
     pub id: u64,
@@ -49,7 +49,7 @@ impl RequestRecord {
 }
 
 /// Per-function aggregate of dedup behaviour.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FnDedupStats {
     /// Dedup ops performed.
     pub dedup_ops: u64,
@@ -81,8 +81,9 @@ impl FnDedupStats {
     }
 }
 
-/// The full output of one platform run.
-#[derive(Debug, Clone, Default)]
+/// The full output of one platform run. `PartialEq` lets chaos tests
+/// assert bit-identical replay of a (seed, fault plan) pair.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Function names (index-aligned with everything per-function).
     pub functions: Vec<String>,
@@ -122,6 +123,22 @@ pub struct RunReport {
     pub registry_lookups: u64,
     /// RDMA bytes moved (restore + dedup reads).
     pub rdma_bytes: u64,
+    /// Dedup restores that fell back to a cold start after exhausting
+    /// retries (§5.3 availability fallback). Zero without faults.
+    pub fallback_cold_starts: u64,
+    /// Node crashes injected over the run.
+    pub node_crashes: u64,
+    /// Node restarts over the run.
+    pub node_restarts: u64,
+    /// In-flight requests re-dispatched because their node crashed.
+    pub rescheduled_requests: u64,
+    /// Fabric-level retries performed (RDMA + RPC).
+    pub net_retries: u64,
+    /// Fabric operations that failed (before retry accounting).
+    pub net_failures: u64,
+    /// Registry chunk locations still pointing at down nodes at the end
+    /// of the run — must be zero (crash purge removes them all).
+    pub registry_dead_node_locs: usize,
     /// Wall-clock-equivalent simulated duration of the run.
     pub duration_us: u64,
 }

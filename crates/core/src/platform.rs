@@ -36,6 +36,7 @@ use medes_policy::keepalive::KeepAlivePolicy;
 use medes_policy::medes::{solve, Objective};
 use medes_policy::{AdaptiveKeepAlive, FixedKeepAlive, MedesPolicyConfig};
 use medes_sim::engine::Scheduler;
+use medes_sim::fault::FaultSchedule;
 use medes_sim::{DetRng, SimDuration, SimTime, Simulation, World};
 use medes_trace::{FunctionProfile, Trace};
 use std::collections::{BTreeSet, HashMap};
@@ -111,6 +112,12 @@ impl Platform {
         if self.cfg.is_medes() {
             sim.schedule(SimTime::ZERO, Ev::PolicyTick);
         }
+        for c in &self.cfg.faults.crashes {
+            sim.schedule(c.at, Ev::NodeCrash { node: c.node });
+            if let Some(r) = c.restart {
+                sim.schedule(r, Ev::NodeRestart { node: c.node });
+            }
+        }
         sim.run();
         let end = sim.now();
         cluster = sim.into_world();
@@ -167,6 +174,12 @@ enum Ev {
     RetryQueue {
         func: usize,
     },
+    NodeCrash {
+        node: usize,
+    },
+    NodeRestart {
+        node: usize,
+    },
 }
 
 /// Per-node accounting.
@@ -174,6 +187,9 @@ enum Ev {
 struct NodeState {
     mem_used: usize,
     sandboxes: BTreeSet<SandboxId>,
+    /// Crashed and not yet restarted: unschedulable, and RDMA reads
+    /// against it fail (the fabric's fault schedule agrees).
+    down: bool,
 }
 
 struct Cluster {
@@ -202,7 +218,10 @@ impl Cluster {
     fn new(cfg: PlatformConfig, profiles: Vec<FunctionProfile>, horizon: SimTime) -> Self {
         let factory = ImageFactory::new(&profiles, cfg.content.clone(), cfg.aslr, cfg.mem_scale);
         let obs = Obs::new(cfg.obs.clone());
-        let fabric = Fabric::with_obs(cfg.nodes, cfg.net.clone(), Arc::clone(&obs));
+        let mut fabric = Fabric::with_obs(cfg.nodes, cfg.net.clone(), Arc::clone(&obs));
+        if !cfg.faults.is_empty() {
+            fabric.set_faults(FaultSchedule::compile(&cfg.faults));
+        }
         let names: Vec<String> = profiles.iter().map(|p| p.name.clone()).collect();
         let metrics =
             MetricsCollector::with_obs(names, SimDuration::from_secs(10), Arc::clone(&obs));
@@ -357,6 +376,115 @@ impl Cluster {
         }
     }
 
+    /// Promotes a warm sandbox to a base: pins its image, indexes every
+    /// page in the registry, and registers it with its function. The
+    /// sandbox stays warm (and stays in the idle-warm pool).
+    fn demarcate_base(&mut self, id: SandboxId) {
+        let (func, seed, node) = {
+            let sb = &self.sandboxes[&id];
+            (sb.func, sb.instance_seed, sb.node)
+        };
+        let img = self.factory.pin(func, seed);
+        index_base_sandbox(&self.cfg, &mut self.registry, node, id, &img);
+        self.bases.insert(id, (func, img));
+        self.fns[func.0].bases.push(id);
+        self.sandboxes.get_mut(&id).expect("exists").is_base = true;
+    }
+
+    /// After a crash removed base sandboxes, promotes MRU idle warm
+    /// sandboxes until `D/B ≤ T` holds again for this function (or no
+    /// candidates remain — orphaned dedup sandboxes then fall back to
+    /// cold starts when dispatched).
+    fn re_demarcate(&mut self, f: usize) {
+        let Some(medes) = self.medes.clone() else {
+            return;
+        };
+        while self.fns[f].dedup_total > 0 && self.fns[f].needs_base(medes.base_threshold) {
+            let cand = self.fns[f]
+                .idle_warm
+                .iter()
+                .rev()
+                .map(|&(_, id)| id)
+                .find(|id| !self.sandboxes[id].is_base);
+            let Some(id) = cand else {
+                break;
+            };
+            self.demarcate_base(id);
+            self.obs.incr("medes.platform.re_demarcations");
+        }
+    }
+
+    /// Re-dispatches a request whose sandbox vanished in a crash.
+    fn reschedule(&mut self, req: ReqInfo, sched: &mut Scheduler<Ev>) {
+        self.metrics.report.rescheduled_requests += 1;
+        self.obs.incr("medes.platform.rescheduled");
+        self.dispatch(req, sched);
+    }
+
+    /// Handles a node crash: marks it down, purges every resident
+    /// sandbox (any state), drops the dead node's registry chunks, and
+    /// re-demarcates bases for the affected functions.
+    fn node_crash(&mut self, now: SimTime, node: usize) {
+        if node >= self.nodes.len() || self.nodes[node].down {
+            return;
+        }
+        self.nodes[node].down = true;
+        self.metrics.report.node_crashes += 1;
+        self.obs.incr("medes.platform.node_crashes");
+        let victims: Vec<SandboxId> = self.nodes[node].sandboxes.iter().copied().collect();
+        let mut affected: Vec<usize> = Vec::new();
+        for id in victims {
+            if let Some(f) = self.crash_purge(now, id) {
+                if !affected.contains(&f) {
+                    affected.push(f);
+                }
+            }
+        }
+        debug_assert_eq!(
+            self.registry.locs_on_node(NodeId(node)),
+            0,
+            "crash purge must drop every registry chunk on the dead node"
+        );
+        for f in affected {
+            self.re_demarcate(f);
+        }
+    }
+
+    /// Removes a sandbox in ANY state because its node crashed. Unlike
+    /// [`Cluster::purge_sandbox`] this also tears down referenced
+    /// bases: surviving dedup sandboxes that point at them will fail
+    /// their restore and fall back to a cold start (§5.3). Returns the
+    /// sandbox's function for re-demarcation.
+    fn crash_purge(&mut self, now: SimTime, id: SandboxId) -> Option<usize> {
+        let sb = self.sandboxes.remove(&id)?;
+        let f = sb.func.0;
+        let rt = &mut self.fns[f];
+        rt.idle_warm.remove(&(sb.last_used, id));
+        rt.idle_dedup.remove(&(sb.last_used, id));
+        rt.total_sandboxes -= 1;
+        // A Restoring sandbox left the idle-dedup pool but its
+        // dedup_total decrement only happens at RestoreDone — which will
+        // now never fire for it.
+        if matches!(sb.state, SandboxState::Dedup | SandboxState::Restoring) {
+            rt.dedup_total -= 1;
+        }
+        self.nodes[sb.node.0].sandboxes.remove(&id);
+        self.charge(now, sb.node, -(sb.mem_paper_bytes as i64));
+        if let Some(table) = &sb.dedup_table {
+            self.release_base_refs(table);
+        }
+        if sb.is_base {
+            // Even a referenced base dies with its node; dependants
+            // discover the loss when their restore fails.
+            self.registry.remove_sandbox(id);
+            self.factory.unpin(sb.func, sb.instance_seed);
+            self.bases.remove(&id);
+            self.fns[f].bases.retain(|&b| b != id);
+        }
+        self.metrics.live_update(now, self.live_count() as f64);
+        Some(f)
+    }
+
     fn keep_alive_window(&self, func: usize) -> SimDuration {
         if let Some(f) = &self.fixed_ka {
             f.keep_alive(func)
@@ -433,57 +561,76 @@ impl Cluster {
                     None
                 };
                 let bases = &self.bases;
-                let outcome = restore_op(
+                let restored = restore_op(
                     &self.cfg,
                     &mut self.fabric,
                     node,
                     table.as_ref().expect("dedup sandbox has a table"),
                     &|bid| bases.get(&bid).map(|(f, img)| (Arc::clone(img), *f)),
                     verify.as_deref(),
-                )
-                .expect("refcounted bases cannot be missing");
-                outcome
-                    .timing
-                    .record(&self.obs, now, &self.fns[f].profile.name);
-                let sb = self.sandboxes.get_mut(&id).expect("sandbox exists");
-                sb.transition(SandboxState::Restoring);
-                let grow = m_w as i64 - cur_mem as i64;
-                self.charge(now, node, grow.max(0));
-                let sbm = self.sandboxes.get_mut(&id).expect("sandbox exists");
-                sbm.mem_paper_bytes = cur_mem.max(m_w);
-                sched.after(
-                    outcome.timing.total(),
-                    Ev::RestoreDone {
-                        sb: id,
-                        req,
-                        read_paper: outcome.read_paper_bytes,
-                    },
                 );
-                // Record the Fig 8 breakdown.
-                let stats = &mut self.metrics.report.dedup_stats[f];
-                stats.restores += 1;
-                let n = stats.restores;
-                FnDedupStats::fold(
-                    &mut stats.mean_restore_us.0,
-                    n,
-                    outcome.timing.base_read.as_micros() as f64,
-                );
-                FnDedupStats::fold(
-                    &mut stats.mean_restore_us.1,
-                    n,
-                    outcome.timing.page_compute.as_micros() as f64,
-                );
-                FnDedupStats::fold(
-                    &mut stats.mean_restore_us.2,
-                    n,
-                    outcome.timing.ckpt_restore.as_micros() as f64,
-                );
-                self.fns[f].record_dedup_start(outcome.timing.total());
-                self.fns[f].record_restore_reads(outcome.read_paper_bytes);
-                return;
+                match restored {
+                    Ok(outcome) => {
+                        outcome
+                            .timing
+                            .record(&self.obs, now, &self.fns[f].profile.name);
+                        let sb = self.sandboxes.get_mut(&id).expect("sandbox exists");
+                        sb.transition(SandboxState::Restoring);
+                        let grow = m_w as i64 - cur_mem as i64;
+                        self.charge(now, node, grow.max(0));
+                        let sbm = self.sandboxes.get_mut(&id).expect("sandbox exists");
+                        sbm.mem_paper_bytes = cur_mem.max(m_w);
+                        sched.after(
+                            outcome.timing.total(),
+                            Ev::RestoreDone {
+                                sb: id,
+                                req,
+                                read_paper: outcome.read_paper_bytes,
+                            },
+                        );
+                        // Record the Fig 8 breakdown.
+                        let stats = &mut self.metrics.report.dedup_stats[f];
+                        stats.restores += 1;
+                        let n = stats.restores;
+                        FnDedupStats::fold(
+                            &mut stats.mean_restore_us.0,
+                            n,
+                            outcome.timing.base_read.as_micros() as f64,
+                        );
+                        FnDedupStats::fold(
+                            &mut stats.mean_restore_us.1,
+                            n,
+                            outcome.timing.page_compute.as_micros() as f64,
+                        );
+                        FnDedupStats::fold(
+                            &mut stats.mean_restore_us.2,
+                            n,
+                            outcome.timing.ckpt_restore.as_micros() as f64,
+                        );
+                        self.fns[f].record_dedup_start(outcome.timing.total());
+                        self.fns[f].record_restore_reads(outcome.read_paper_bytes);
+                        return;
+                    }
+                    Err(err) => {
+                        // The base pages are unreachable (crashed base
+                        // node, or reads broken past the retry policy):
+                        // §5.3 — discard the dedup sandbox and fall back
+                        // to a cold start. Impossible without faults.
+                        debug_assert!(
+                            !self.cfg.faults.is_empty(),
+                            "restore failed without fault injection: {err}"
+                        );
+                        let _ = &err;
+                        self.metrics.report.fallback_cold_starts += 1;
+                        self.obs.incr("medes.platform.starts.fallback_cold");
+                        self.purge_sandbox(now, id);
+                        // Fall through to the cold path below.
+                    }
+                }
             }
-            // No room to restore: fall through to the cold path (which
-            // may evict this very dedup sandbox if that's what it takes).
+            // No room to restore (or the restore failed): fall through to
+            // the cold path, which may evict this very dedup sandbox if
+            // that's what it takes.
         }
 
         // 3. Cold start.
@@ -525,7 +672,9 @@ impl Cluster {
     /// Picks the node with the most free memory that can (be made to)
     /// fit `bytes`; evicts idle sandboxes if necessary.
     fn pick_node(&mut self, now: SimTime, bytes: usize) -> Option<NodeId> {
-        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        let mut order: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| !self.nodes[i].down)
+            .collect();
         order.sort_unstable_by_key(|&i| std::cmp::Reverse(self.node_free(NodeId(i))));
         for i in &order {
             if self.node_free(NodeId(*i)) >= bytes {
@@ -568,12 +717,7 @@ impl Cluster {
         // Base demarcation has priority: the first dedup-eligible
         // sandbox (or one per T dedups) becomes a base instead.
         if !sb.is_base && self.fns[f].needs_base(medes.base_threshold) {
-            let (func, seed, node) = (sb.func, sb.instance_seed, sb.node);
-            let img = self.factory.pin(func, seed);
-            index_base_sandbox(&self.cfg, &mut self.registry, node, id, &img);
-            self.bases.insert(id, (func, img));
-            self.fns[f].bases.push(id);
-            self.sandboxes.get_mut(&id).expect("exists").is_base = true;
+            self.demarcate_base(id);
             // A base stays warm; keep-alive keeps re-arming while it is
             // referenced. Nothing more to do now.
             return;
@@ -610,7 +754,7 @@ impl Cluster {
         }
         let image = self.factory.image(func, seed);
         let bases = &self.bases;
-        let outcome = dedup_op(
+        let outcome = match dedup_op(
             &self.cfg,
             &mut self.registry,
             &mut self.fabric,
@@ -618,7 +762,30 @@ impl Cluster {
             func,
             &image,
             &|bid| bases.get(&bid).map(|(bf, img)| (Arc::clone(img), *bf)),
-        );
+        ) {
+            Ok(o) => o,
+            Err(_) => {
+                // Fault-injected failure (controller RPC or base reads
+                // stayed broken past the retry policy): abort the dedup
+                // and keep the sandbox warm — it will be reconsidered
+                // after another idle period.
+                debug_assert!(!self.cfg.faults.is_empty());
+                self.obs.incr("medes.platform.dedup_aborts");
+                let sb = self.sandboxes.get_mut(&id).expect("exists");
+                sb.transition(SandboxState::Warm);
+                sb.last_used = now;
+                let epoch = sb.epoch;
+                self.fns[f].idle_warm.insert((now, id));
+                sched.after(
+                    self.keep_alive_window(f),
+                    Ev::KeepAliveExpire { sb: id, epoch },
+                );
+                if now + medes.idle_period <= self.horizon + medes.keep_alive {
+                    sched.after(medes.idle_period, Ev::IdleCheck { sb: id, epoch });
+                }
+                return;
+            }
+        };
         outcome.timing.record(
             &self.obs,
             now,
@@ -653,6 +820,9 @@ impl Cluster {
     ) {
         let now = sched.now();
         let Some(sb) = self.sandboxes.get(&id) else {
+            // Crash-purged mid-dedup: drop the base pins taken at
+            // initiation (the table was never attached to the sandbox).
+            self.release_base_refs(&outcome.table);
             return;
         };
         if sb.epoch != epoch || sb.state != SandboxState::Deduping {
@@ -740,6 +910,13 @@ impl Cluster {
         self.metrics.report.registry_bytes = self.registry.mem_bytes();
         self.metrics.report.registry_lookups = self.registry.lookups();
         self.metrics.report.rdma_bytes = self.fabric.stats().rdma_bytes;
+        let fstats = self.fabric.stats();
+        self.metrics.report.net_retries = fstats.retries;
+        self.metrics.report.net_failures = fstats.rdma_failures + fstats.rpc_failures;
+        self.metrics.report.registry_dead_node_locs = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].down)
+            .map(|i| self.registry.locs_on_node(NodeId(i)))
+            .sum();
         let mut report = self.metrics.finish(end);
         report.requests.sort_by_key(|r| r.id);
         report
@@ -765,6 +942,8 @@ impl World for Cluster {
 
     fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        // Fault windows are evaluated at the fabric's current instant.
+        self.fabric.set_now(now);
         match event {
             Ev::Arrival { id, func } => {
                 self.obs.incr("medes.platform.arrivals");
@@ -781,6 +960,11 @@ impl World for Cluster {
             }
 
             Ev::SpawnDone { sb: id, req } => {
+                if !self.sandboxes.contains_key(&id) {
+                    // The node crashed while the sandbox was spawning.
+                    self.reschedule(req, sched);
+                    return;
+                }
                 let exec = self.sample_exec(req.func);
                 let sb = self
                     .sandboxes
@@ -805,6 +989,12 @@ impl World for Cluster {
                 req,
                 read_paper,
             } => {
+                if !self.sandboxes.contains_key(&id) {
+                    // The node crashed mid-restore (crash_purge already
+                    // settled the dedup accounting and base refs).
+                    self.reschedule(req, sched);
+                    return;
+                }
                 let f = req.func;
                 let m_w = self.fns[f].profile.memory_bytes;
                 let exec = self.sample_exec(f);
@@ -839,6 +1029,19 @@ impl World for Cluster {
             }
 
             Ev::ExecDone { sb: id, mut rec } => {
+                if !self.sandboxes.contains_key(&id) {
+                    // The node crashed while the request executed: the
+                    // request never completed, so re-dispatch it.
+                    self.reschedule(
+                        ReqInfo {
+                            id: rec.id,
+                            func: rec.func,
+                            arrival: SimTime::from_micros(rec.arrival_us),
+                        },
+                        sched,
+                    );
+                    return;
+                }
                 rec.e2e_us = now.since(SimTime::from_micros(rec.arrival_us)).as_micros();
                 self.metrics.push_request(rec);
                 let sb = self.sandboxes.get_mut(&id).expect("running sandbox exists");
@@ -959,6 +1162,16 @@ impl World for Cluster {
                 if !self.fns[func].wait_queue.is_empty() && !self.fns[func].retry_armed {
                     self.fns[func].retry_armed = true;
                     sched.after(QUEUE_RETRY, Ev::RetryQueue { func });
+                }
+            }
+
+            Ev::NodeCrash { node } => self.node_crash(now, node),
+
+            Ev::NodeRestart { node } => {
+                if node < self.nodes.len() && self.nodes[node].down {
+                    self.nodes[node].down = false;
+                    self.metrics.report.node_restarts += 1;
+                    self.obs.incr("medes.platform.node_restarts");
                 }
             }
         }

@@ -184,6 +184,55 @@ impl FingerprintRegistry {
     pub fn base_sandboxes(&self) -> usize {
         self.by_sandbox.len()
     }
+
+    /// Number of chunk locations pointing at `node`. Used by crash
+    /// recovery to assert a dead node's chunks were all purged.
+    pub fn locs_on_node(&self, node: NodeId) -> usize {
+        self.table
+            .values()
+            .map(|locs| locs.iter().filter(|l| l.node == node).count())
+            .sum()
+    }
+
+    /// Checks that `table` and `by_sandbox` are mutually consistent:
+    /// the entry count matches the table, every location's sandbox is
+    /// known to the reverse index, and each sandbox's per-hash
+    /// multiplicity in `by_sandbox` matches the table exactly (so
+    /// [`FingerprintRegistry::remove_sandbox`] removes everything).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let counted: usize = self.table.values().map(Vec::len).sum();
+        if counted != self.entries {
+            return Err(format!(
+                "entry count drifted: counted {counted}, tracked {}",
+                self.entries
+            ));
+        }
+        let mut per_sandbox_hash: HashMap<(SandboxId, ChunkHash), usize> = HashMap::new();
+        for (&hash, locs) in &self.table {
+            if locs.is_empty() {
+                return Err(format!("empty location list left for hash {hash:?}"));
+            }
+            for loc in locs {
+                if !self.by_sandbox.contains_key(&loc.sandbox) {
+                    return Err(format!(
+                        "table references sandbox sb{} unknown to by_sandbox",
+                        loc.sandbox.0
+                    ));
+                }
+                *per_sandbox_hash.entry((loc.sandbox, hash)).or_insert(0) += 1;
+            }
+        }
+        let mut reverse: HashMap<(SandboxId, ChunkHash), usize> = HashMap::new();
+        for (&sb, hashes) in &self.by_sandbox {
+            for &h in hashes {
+                *reverse.entry((sb, h)).or_insert(0) += 1;
+            }
+        }
+        if per_sandbox_hash != reverse {
+            return Err("by_sandbox multiplicities do not match the table".to_string());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +336,101 @@ mod tests {
         reg.lookup(&fp);
         reg.lookup(&fp);
         assert_eq!(reg.lookups(), 2);
+    }
+
+    /// Randomized insert/remove interleavings must keep `table` and
+    /// `by_sandbox` mutually consistent, and no location may survive
+    /// its sandbox's eviction.
+    #[test]
+    fn random_interleavings_keep_invariants() {
+        let cfg = FingerprintConfig::default();
+        let mut rng = DetRng::new(0x1EC5);
+        for case in 0..24 {
+            let mut reg = FingerprintRegistry::new();
+            let mut live: Vec<u64> = Vec::new();
+            let mut evicted: Vec<u64> = Vec::new();
+            let mut next_sb = 1u64;
+            for step in 0..rng.range(20, 60) {
+                if live.is_empty() || rng.chance(0.65) {
+                    // Insert a few pages for a fresh or existing sandbox.
+                    let sb = if live.is_empty() || rng.chance(0.4) {
+                        let sb = next_sb;
+                        next_sb += 1;
+                        live.push(sb);
+                        sb
+                    } else {
+                        live[rng.below(live.len() as u64) as usize]
+                    };
+                    for page in 0..rng.range(1, 4) {
+                        let fp = page_fingerprint(&random_page(rng.next_u64()), &cfg);
+                        if !fp.is_empty() {
+                            reg.insert_page(
+                                &fp,
+                                ChunkLoc {
+                                    node: NodeId(rng.below(4) as usize),
+                                    sandbox: SandboxId(sb),
+                                    page: page as u32,
+                                },
+                            );
+                        }
+                    }
+                } else {
+                    let i = rng.below(live.len() as u64) as usize;
+                    let sb = live.swap_remove(i);
+                    reg.remove_sandbox(SandboxId(sb));
+                    evicted.push(sb);
+                }
+                reg.check_invariants()
+                    .unwrap_or_else(|e| panic!("case {case} step {step}: {e}"));
+            }
+            // No ChunkLoc points at an evicted sandbox.
+            for &sb in &evicted {
+                for locs in reg.table.values() {
+                    assert!(
+                        locs.iter().all(|l| l.sandbox != SandboxId(sb)),
+                        "case {case}: location survived eviction of sb{sb}"
+                    );
+                }
+                assert!(!reg.by_sandbox.contains_key(&SandboxId(sb)));
+            }
+            // Evicting everything drains the registry completely.
+            for sb in live.drain(..) {
+                reg.remove_sandbox(SandboxId(sb));
+            }
+            reg.check_invariants().expect("drained registry");
+            assert_eq!(reg.entries(), 0, "case {case}");
+            assert!(reg.table.is_empty(), "case {case}");
+        }
+    }
+
+    #[test]
+    fn locs_on_node_counts_and_drains() {
+        let cfg = FingerprintConfig::default();
+        let mut reg = FingerprintRegistry::new();
+        let fp1 = page_fingerprint(&random_page(21), &cfg);
+        let fp2 = page_fingerprint(&random_page(22), &cfg);
+        reg.insert_page(
+            &fp1,
+            ChunkLoc {
+                node: NodeId(1),
+                sandbox: SandboxId(1),
+                page: 0,
+            },
+        );
+        reg.insert_page(
+            &fp2,
+            ChunkLoc {
+                node: NodeId(2),
+                sandbox: SandboxId(2),
+                page: 0,
+            },
+        );
+        assert_eq!(reg.locs_on_node(NodeId(1)), fp1.len());
+        assert_eq!(reg.locs_on_node(NodeId(2)), fp2.len());
+        assert_eq!(reg.locs_on_node(NodeId(3)), 0);
+        reg.remove_sandbox(SandboxId(1));
+        assert_eq!(reg.locs_on_node(NodeId(1)), 0);
+        reg.check_invariants().expect("consistent after removal");
     }
 
     #[test]

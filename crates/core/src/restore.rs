@@ -15,7 +15,7 @@ use crate::ids::NodeId;
 use crate::sandbox::{DedupPageTable, PageEntry};
 use medes_delta::apply;
 use medes_mem::{MemoryImage, PAGE_SIZE};
-use medes_net::Fabric;
+use medes_net::{Fabric, NetError};
 use medes_obs::Obs;
 use medes_sim::{SimDuration, SimTime};
 
@@ -87,6 +87,9 @@ pub enum RestoreError {
         /// Page index that failed.
         page: usize,
     },
+    /// Base-page reads failed even after the configured retries — the
+    /// caller should fall back to a cold start (§5.3).
+    Net(NetError),
 }
 
 impl std::fmt::Display for RestoreError {
@@ -96,6 +99,7 @@ impl std::fmt::Display for RestoreError {
                 write!(f, "base sandbox sb{sandbox} missing during restore")
             }
             RestoreError::Corrupt { page } => write!(f, "page {page} failed to reconstruct"),
+            RestoreError::Net(e) => write!(f, "base-page reads failed: {e}"),
         }
     }
 }
@@ -146,7 +150,10 @@ pub fn restore_op(
         }
     }
 
-    let base_read = fabric.rdma_read_batch(node.0, &reads);
+    let base_read = fabric
+        .rdma_read_batch_retry(node.0, &reads, &cfg.retry)
+        .map_err(RestoreError::Net)?
+        .time;
     let paper_bytes = table.entries.len() * PAGE_SIZE * scale;
     let ckpt = cfg.ckpt.restore_time(
         paper_bytes,
@@ -206,7 +213,8 @@ mod tests {
             FnId(0),
             &target,
             &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&base_arc), FnId(0))),
-        );
+        )
+        .expect("dedup op");
         (cfg, fabric, outcome.table, base, target)
     }
 

@@ -14,16 +14,124 @@
 //! transfer statistics for the overhead reports of §7.7. Built with
 //! [`Fabric::with_obs`], it additionally mirrors every operation into
 //! `medes.net.*` counters and latency histograms.
+//!
+//! ## Fault injection
+//!
+//! Every operation returns `Result<SimDuration, NetError>`. Without a
+//! [`FaultSchedule`] installed ([`Fabric::set_faults`]) nothing ever
+//! fails and the success path is byte-identical to a fault-free fabric.
+//! With a schedule, operations consult it at the fabric's current
+//! simulated time ([`Fabric::set_now`]): reads touching a down node are
+//! [`NetError::Unreachable`], link error windows produce timeouts or
+//! partial reads, and latency-spike windows stretch the wire time. The
+//! `*_retry` variants wrap an op in a [`RetryPolicy`] — exponential
+//! backoff in **simulated** time, with each failed attempt costing
+//! [`NetConfig::fault_timeout`] — and re-evaluate the schedule at the
+//! accumulated instant, so retries can outlive a fault window.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use medes_obs::Obs;
-use medes_sim::SimDuration;
+use medes_sim::fault::FaultSchedule;
+use medes_sim::{SimDuration, SimTime};
 use std::sync::Arc;
 
 /// Node identifier within the fabric.
 pub type NodeIdx = usize;
+
+/// Typed fabric failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The operation did not complete in time (link error window or
+    /// dropped RPC).
+    Timeout {
+        /// The peer the operation was addressed to.
+        node: NodeIdx,
+    },
+    /// The peer node is down.
+    Unreachable {
+        /// The unreachable node.
+        node: NodeIdx,
+    },
+    /// A read completed with fewer bytes than requested.
+    PartialRead {
+        /// Bytes actually transferred.
+        got: usize,
+        /// Bytes requested.
+        wanted: usize,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Timeout { node } => write!(f, "operation to node {node} timed out"),
+            NetError::Unreachable { node } => write!(f, "node {node} is unreachable"),
+            NetError::PartialRead { got, wanted } => {
+                write!(f, "partial read: {got} of {wanted} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Retry/backoff policy for fabric operations, in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); must be ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_backoff: SimDuration,
+    /// Cap on any single backoff.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_millis(1),
+            max_backoff: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub const fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based):
+    /// `min(base · 2^retry, max_backoff)`.
+    pub fn backoff(&self, retry: u32) -> SimDuration {
+        let factor = 1u64.checked_shl(retry).unwrap_or(u64::MAX);
+        let us = self.base_backoff.as_micros().saturating_mul(factor);
+        SimDuration::from_micros(us).min(self.max_backoff)
+    }
+
+    /// Total backoff slept across `retries` retries.
+    pub fn total_backoff(&self, retries: u32) -> SimDuration {
+        (0..retries).map(|i| self.backoff(i)).sum()
+    }
+}
+
+/// Outcome of a retried operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Total simulated time, including failed attempts and backoff.
+    pub time: SimDuration,
+    /// Attempts performed (≥ 1).
+    pub attempts: u32,
+    /// The backoff portion of `time`.
+    pub backoff: SimDuration,
+}
 
 /// Link and operation cost parameters.
 #[derive(Debug, Clone)]
@@ -39,6 +147,10 @@ pub struct NetConfig {
     pub rpc_overhead: SimDuration,
     /// Local (same-node) memory read bandwidth in bytes per second.
     pub local_mem_bps: f64,
+    /// Simulated time charged to an attempt that fails under fault
+    /// injection (detection timeout). Uniform across failure kinds so
+    /// retry delays have a closed form.
+    pub fault_timeout: SimDuration,
 }
 
 impl Default for NetConfig {
@@ -49,6 +161,7 @@ impl Default for NetConfig {
             bandwidth_bps: 1.25e9,
             rpc_overhead: SimDuration::from_micros(30),
             local_mem_bps: 8.0e9,
+            fault_timeout: SimDuration::from_millis(10),
         }
     }
 }
@@ -64,6 +177,12 @@ pub struct FabricStats {
     pub rpcs: u64,
     /// Bytes moved by RPCs (request + response).
     pub rpc_bytes: u64,
+    /// Failed RDMA operations (batches count once).
+    pub rdma_failures: u64,
+    /// Failed RPC round trips.
+    pub rpc_failures: u64,
+    /// Retries performed by the `*_retry` variants.
+    pub retries: u64,
 }
 
 /// The cluster fabric: prices operations between nodes.
@@ -73,6 +192,8 @@ pub struct Fabric {
     cfg: NetConfig,
     stats: FabricStats,
     obs: Arc<Obs>,
+    faults: Option<FaultSchedule>,
+    now: SimTime,
 }
 
 impl Fabric {
@@ -89,7 +210,25 @@ impl Fabric {
             cfg,
             stats: FabricStats::default(),
             obs,
+            faults: None,
+            now: SimTime::ZERO,
         }
+    }
+
+    /// Installs a fault schedule. Without one, no operation ever fails.
+    pub fn set_faults(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(schedule);
+    }
+
+    /// True when a fault schedule is installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Advances the fabric's notion of the current simulated time, used
+    /// to evaluate fault windows. A no-op concern without faults.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
     }
 
     /// Number of nodes.
@@ -107,27 +246,102 @@ impl Fabric {
         self.stats
     }
 
+    /// Evaluates fault injection for one transfer `src → dst` of `bytes`
+    /// at instant `at`. Returns the latency factor to apply (1.0 when
+    /// clean). Draws fault randomness only when a fault can match.
+    fn fault_check(
+        &mut self,
+        dst: NodeIdx,
+        src: NodeIdx,
+        bytes: usize,
+        at: SimTime,
+    ) -> Result<f64, NetError> {
+        let Some(f) = &mut self.faults else {
+            return Ok(1.0);
+        };
+        if f.node_down(dst, at) {
+            return Err(NetError::Unreachable { node: dst });
+        }
+        if f.node_down(src, at) {
+            return Err(NetError::Unreachable { node: src });
+        }
+        if src == dst {
+            return Ok(1.0);
+        }
+        if f.link_error(src, dst, at) {
+            return Err(if f.rng().chance(0.5) {
+                NetError::Timeout { node: src }
+            } else {
+                NetError::PartialRead {
+                    got: (bytes as f64 * f.rng().f64()) as usize,
+                    wanted: bytes,
+                }
+            });
+        }
+        Ok(f.latency_factor(src, dst, at))
+    }
+
+    fn note_error(&mut self, err: NetError, rdma: bool) {
+        if rdma {
+            self.stats.rdma_failures += 1;
+        } else {
+            self.stats.rpc_failures += 1;
+        }
+        if self.obs.enabled() {
+            self.obs.incr(match err {
+                NetError::Timeout { .. } => "medes.net.err.timeout",
+                NetError::Unreachable { .. } => "medes.net.err.unreachable",
+                NetError::PartialRead { .. } => "medes.net.err.partial_read",
+            });
+        }
+    }
+
     /// Cost of a one-sided RDMA read of `bytes` from `src` into `dst`.
     ///
     /// Same-node "reads" are local memory copies: no verbs, no wire.
-    pub fn rdma_read(&mut self, dst: NodeIdx, src: NodeIdx, bytes: usize) -> SimDuration {
+    pub fn rdma_read(
+        &mut self,
+        dst: NodeIdx,
+        src: NodeIdx,
+        bytes: usize,
+    ) -> Result<SimDuration, NetError> {
+        self.rdma_read_at(dst, src, bytes, self.now)
+    }
+
+    fn rdma_read_at(
+        &mut self,
+        dst: NodeIdx,
+        src: NodeIdx,
+        bytes: usize,
+        at: SimTime,
+    ) -> Result<SimDuration, NetError> {
         self.check(dst);
         self.check(src);
+        let factor = match self.fault_check(dst, src, bytes, at) {
+            Ok(k) => k,
+            Err(e) => {
+                self.note_error(e, true);
+                return Err(e);
+            }
+        };
         self.stats.rdma_reads += 1;
         self.stats.rdma_bytes += bytes as u64;
-        let t = if dst == src {
+        let mut t = if dst == src {
             SimDuration::from_secs_f64(bytes as f64 / self.cfg.local_mem_bps)
         } else {
             self.cfg.base_latency
                 + self.cfg.rdma_op_overhead
                 + SimDuration::from_secs_f64(bytes as f64 / self.cfg.bandwidth_bps)
         };
+        if factor != 1.0 {
+            t = t.mul_f64(factor);
+        }
         if self.obs.enabled() {
             self.obs.incr("medes.net.rdma_reads");
             self.obs.counter_add("medes.net.rdma_bytes", bytes as u64);
             self.obs.record_us("medes.net.rdma_read_us", t);
         }
-        t
+        Ok(t)
     }
 
     /// Cost of a batch of RDMA reads to (possibly) many sources.
@@ -137,13 +351,44 @@ impl Fabric {
     /// model therefore charges one base latency plus the receiver-side
     /// serialization of all remote bytes — which is what makes batched
     /// base-page fetches far cheaper than sequential ones.
-    pub fn rdma_read_batch(&mut self, dst: NodeIdx, reads: &[(NodeIdx, usize)]) -> SimDuration {
+    ///
+    /// Under fault injection the batch fails as a unit: any down source,
+    /// or any read falling in a link error window, fails the whole
+    /// operation (one-sided reads give no partial-completion signal).
+    pub fn rdma_read_batch(
+        &mut self,
+        dst: NodeIdx,
+        reads: &[(NodeIdx, usize)],
+    ) -> Result<SimDuration, NetError> {
+        self.rdma_read_batch_at(dst, reads, self.now)
+    }
+
+    fn rdma_read_batch_at(
+        &mut self,
+        dst: NodeIdx,
+        reads: &[(NodeIdx, usize)],
+        at: SimTime,
+    ) -> Result<SimDuration, NetError> {
         self.check(dst);
+        for &(src, _) in reads {
+            self.check(src);
+        }
+        let mut factor = 1.0f64;
+        if self.faults.is_some() {
+            for &(src, bytes) in reads {
+                match self.fault_check(dst, src, bytes, at) {
+                    Ok(k) => factor = factor.max(k),
+                    Err(e) => {
+                        self.note_error(e, true);
+                        return Err(e);
+                    }
+                }
+            }
+        }
         let mut remote_bytes = 0usize;
         let mut local_bytes = 0usize;
         let mut ops = 0u64;
         for &(src, bytes) in reads {
-            self.check(src);
             if src == dst {
                 local_bytes += bytes;
             } else {
@@ -155,9 +400,13 @@ impl Fabric {
         }
         let mut t = SimDuration::from_secs_f64(local_bytes as f64 / self.cfg.local_mem_bps);
         if ops > 0 {
-            t += self.cfg.base_latency
+            let mut wire = self.cfg.base_latency
                 + self.cfg.rdma_op_overhead.mul_f64(ops as f64)
                 + SimDuration::from_secs_f64(remote_bytes as f64 / self.cfg.bandwidth_bps);
+            if factor != 1.0 {
+                wire = wire.mul_f64(factor);
+            }
+            t += wire;
         }
         if self.obs.enabled() && !reads.is_empty() {
             self.obs
@@ -166,7 +415,52 @@ impl Fabric {
                 .counter_add("medes.net.rdma_bytes", (local_bytes + remote_bytes) as u64);
             self.obs.record_us("medes.net.rdma_batch_us", t);
         }
-        t
+        Ok(t)
+    }
+
+    /// [`Fabric::rdma_read_batch`] wrapped in a retry policy. Each failed
+    /// attempt costs [`NetConfig::fault_timeout`] plus exponential
+    /// backoff, and the next attempt re-evaluates the fault schedule at
+    /// the accumulated simulated instant — retries escape fault windows
+    /// that end in time. Returns the total elapsed time on success; the
+    /// last error once `max_attempts` is exhausted.
+    pub fn rdma_read_batch_retry(
+        &mut self,
+        dst: NodeIdx,
+        reads: &[(NodeIdx, usize)],
+        policy: &RetryPolicy,
+    ) -> Result<RetryOutcome, NetError> {
+        let mut elapsed = SimDuration::ZERO;
+        let mut backoff_total = SimDuration::ZERO;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.rdma_read_batch_at(dst, reads, self.now + elapsed) {
+                Ok(t) => {
+                    return Ok(RetryOutcome {
+                        time: elapsed + t,
+                        attempts,
+                        backoff: backoff_total,
+                    })
+                }
+                Err(e) => {
+                    elapsed += self.cfg.fault_timeout;
+                    if attempts >= policy.max_attempts.max(1) {
+                        if self.obs.enabled() {
+                            self.obs.incr("medes.net.retry_giveups");
+                        }
+                        return Err(e);
+                    }
+                    let pause = policy.backoff(attempts - 1);
+                    elapsed += pause;
+                    backoff_total += pause;
+                    self.stats.retries += 1;
+                    if self.obs.enabled() {
+                        self.obs.incr("medes.net.retries");
+                    }
+                }
+            }
+        }
     }
 
     /// Cost of an RPC round trip carrying `req_bytes` + `resp_bytes`.
@@ -176,12 +470,42 @@ impl Fabric {
         b: NodeIdx,
         req_bytes: usize,
         resp_bytes: usize,
-    ) -> SimDuration {
+    ) -> Result<SimDuration, NetError> {
+        self.rpc_at(a, b, req_bytes, resp_bytes, self.now)
+    }
+
+    fn rpc_at(
+        &mut self,
+        a: NodeIdx,
+        b: NodeIdx,
+        req_bytes: usize,
+        resp_bytes: usize,
+        at: SimTime,
+    ) -> Result<SimDuration, NetError> {
         self.check(a);
         self.check(b);
+        let mut factor = 1.0f64;
+        if self.faults.is_some() {
+            factor = match self.fault_check(b, a, req_bytes + resp_bytes, at) {
+                Ok(k) => k,
+                Err(e) => {
+                    self.note_error(e, false);
+                    return Err(e);
+                }
+            };
+            let dropped = self.faults.as_mut().is_some_and(|f| f.rpc_dropped(at));
+            if dropped {
+                let e = NetError::Timeout { node: b };
+                self.note_error(e, false);
+                if self.obs.enabled() {
+                    self.obs.incr("medes.net.rpc_dropped");
+                }
+                return Err(e);
+            }
+        }
         self.stats.rpcs += 1;
         self.stats.rpc_bytes += (req_bytes + resp_bytes) as u64;
-        let t = if a == b {
+        let mut t = if a == b {
             self.cfg.rpc_overhead
         } else {
             self.cfg.rpc_overhead
@@ -190,13 +514,103 @@ impl Fabric {
                     (req_bytes + resp_bytes) as f64 / self.cfg.bandwidth_bps,
                 )
         };
+        if factor != 1.0 {
+            t = t.mul_f64(factor);
+        }
         if self.obs.enabled() {
             self.obs.incr("medes.net.rpcs");
             self.obs
                 .counter_add("medes.net.rpc_bytes", (req_bytes + resp_bytes) as u64);
             self.obs.record_us("medes.net.rpc_us", t);
         }
-        t
+        Ok(t)
+    }
+
+    /// [`Fabric::rpc`] wrapped in a retry policy (see
+    /// [`Fabric::rdma_read_batch_retry`] for the time accounting).
+    pub fn rpc_retry(
+        &mut self,
+        a: NodeIdx,
+        b: NodeIdx,
+        req_bytes: usize,
+        resp_bytes: usize,
+        policy: &RetryPolicy,
+    ) -> Result<RetryOutcome, NetError> {
+        let mut elapsed = SimDuration::ZERO;
+        let mut backoff_total = SimDuration::ZERO;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.rpc_at(a, b, req_bytes, resp_bytes, self.now + elapsed) {
+                Ok(t) => {
+                    return Ok(RetryOutcome {
+                        time: elapsed + t,
+                        attempts,
+                        backoff: backoff_total,
+                    })
+                }
+                Err(e) => {
+                    elapsed += self.cfg.fault_timeout;
+                    if attempts >= policy.max_attempts.max(1) {
+                        if self.obs.enabled() {
+                            self.obs.incr("medes.net.retry_giveups");
+                        }
+                        return Err(e);
+                    }
+                    let pause = policy.backoff(attempts - 1);
+                    elapsed += pause;
+                    backoff_total += pause;
+                    self.stats.retries += 1;
+                    if self.obs.enabled() {
+                        self.obs.incr("medes.net.retries");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fault gate for the dedup agent's fingerprint RPC to the
+    /// controller. The RPC's *cost* is part of the platform's
+    /// `lookup_per_page` model, so this returns only the **extra**
+    /// fault-induced delay: `ZERO` without faults (no side effects at
+    /// all), the accumulated retry delay when drops occur, or the final
+    /// error once the policy is exhausted.
+    pub fn controller_rpc_check(
+        &mut self,
+        from: NodeIdx,
+        policy: &RetryPolicy,
+    ) -> Result<SimDuration, NetError> {
+        self.check(from);
+        if self.faults.is_none() {
+            return Ok(SimDuration::ZERO);
+        }
+        let mut elapsed = SimDuration::ZERO;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let at = self.now + elapsed;
+            let dropped = self.faults.as_mut().is_some_and(|f| f.rpc_dropped(at));
+            if !dropped {
+                return Ok(elapsed);
+            }
+            let e = NetError::Timeout { node: from };
+            self.note_error(e, false);
+            if self.obs.enabled() {
+                self.obs.incr("medes.net.rpc_dropped");
+            }
+            elapsed += self.cfg.fault_timeout;
+            if attempts >= policy.max_attempts.max(1) {
+                if self.obs.enabled() {
+                    self.obs.incr("medes.net.retry_giveups");
+                }
+                return Err(e);
+            }
+            elapsed += policy.backoff(attempts - 1);
+            self.stats.retries += 1;
+            if self.obs.enabled() {
+                self.obs.incr("medes.net.retries");
+            }
+        }
     }
 
     fn check(&self, n: NodeIdx) {
@@ -211,15 +625,33 @@ impl Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medes_sim::fault::{FaultPlan, LinkFaultKind, LinkFaultWindow, NodeCrash};
+    use medes_sim::DetRng;
 
     fn fabric() -> Fabric {
         Fabric::new(4, NetConfig::default())
     }
 
+    fn always_fail_window() -> LinkFaultWindow {
+        LinkFaultWindow {
+            src: None,
+            dst: None,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1_000_000),
+            kind: LinkFaultKind::Error { drop_prob: 1.0 },
+        }
+    }
+
+    fn faulty(plan: &FaultPlan) -> Fabric {
+        let mut f = fabric();
+        f.set_faults(FaultSchedule::compile(plan));
+        f
+    }
+
     #[test]
     fn remote_read_costs_latency_plus_serialization() {
         let mut f = fabric();
-        let t = f.rdma_read(0, 1, 4096);
+        let t = f.rdma_read(0, 1, 4096).unwrap();
         // 2us + 1us + 4096/1.25e9 ≈ 3.3us -> ~6.3us total
         let us = t.as_micros();
         assert!((3..12).contains(&us), "remote 4KiB read {us}us");
@@ -228,8 +660,8 @@ mod tests {
     #[test]
     fn local_read_is_cheaper_than_remote() {
         let mut f = fabric();
-        let local = f.rdma_read(2, 2, 4096);
-        let remote = f.rdma_read(2, 3, 4096);
+        let local = f.rdma_read(2, 2, 4096).unwrap();
+        let remote = f.rdma_read(2, 3, 4096).unwrap();
         assert!(local < remote);
     }
 
@@ -237,9 +669,12 @@ mod tests {
     fn batch_is_cheaper_than_sequential() {
         let reads: Vec<(NodeIdx, usize)> = (0..100).map(|i| (1 + i % 3, 4096)).collect();
         let mut f1 = fabric();
-        let batched = f1.rdma_read_batch(0, &reads);
+        let batched = f1.rdma_read_batch(0, &reads).unwrap();
         let mut f2 = fabric();
-        let sequential: SimDuration = reads.iter().map(|&(s, b)| f2.rdma_read(0, s, b)).sum();
+        let sequential: SimDuration = reads
+            .iter()
+            .map(|&(s, b)| f2.rdma_read(0, s, b).unwrap())
+            .sum();
         assert!(
             batched < sequential,
             "batched {batched:?} vs {sequential:?}"
@@ -251,7 +686,7 @@ mod tests {
     #[test]
     fn bandwidth_dominates_large_transfers() {
         let mut f = fabric();
-        let t = f.rdma_read(0, 1, 125_000_000); // 125 MB at 1.25 GB/s = 100 ms
+        let t = f.rdma_read(0, 1, 125_000_000).unwrap(); // 125 MB at 1.25 GB/s = 100 ms
         let ms = t.as_millis_f64();
         assert!((95.0..110.0).contains(&ms), "large read {ms}ms");
     }
@@ -259,8 +694,8 @@ mod tests {
     #[test]
     fn rpc_roundtrip_costs() {
         let mut f = fabric();
-        let same = f.rpc(1, 1, 100, 100);
-        let cross = f.rpc(0, 1, 100, 100);
+        let same = f.rpc(1, 1, 100, 100).unwrap();
+        let cross = f.rpc(0, 1, 100, 100).unwrap();
         assert!(same < cross);
         assert_eq!(f.stats().rpcs, 2);
         assert_eq!(f.stats().rpc_bytes, 400);
@@ -269,7 +704,7 @@ mod tests {
     #[test]
     fn empty_batch_is_free() {
         let mut f = fabric();
-        assert_eq!(f.rdma_read_batch(0, &[]), SimDuration::ZERO);
+        assert_eq!(f.rdma_read_batch(0, &[]).unwrap(), SimDuration::ZERO);
     }
 
     #[test]
@@ -283,9 +718,9 @@ mod tests {
     fn obs_mirrors_fabric_traffic() {
         let obs = Obs::new(medes_obs::ObsConfig::enabled());
         let mut f = Fabric::with_obs(4, NetConfig::default(), Arc::clone(&obs));
-        f.rdma_read(0, 1, 4096);
-        f.rdma_read_batch(0, &[(1, 100), (2, 200)]);
-        f.rpc(0, 1, 10, 20);
+        f.rdma_read(0, 1, 4096).unwrap();
+        f.rdma_read_batch(0, &[(1, 100), (2, 200)]).unwrap();
+        f.rpc(0, 1, 10, 20).unwrap();
         assert_eq!(obs.counter("medes.net.rdma_reads"), 3);
         assert_eq!(obs.counter("medes.net.rdma_bytes"), 4096 + 300);
         assert_eq!(obs.counter("medes.net.rpcs"), 1);
@@ -294,7 +729,268 @@ mod tests {
         assert_eq!(n, Some(1));
         // The disabled path records nothing.
         let mut quiet = Fabric::new(4, NetConfig::default());
-        quiet.rdma_read(0, 1, 4096);
+        quiet.rdma_read(0, 1, 4096).unwrap();
         assert_eq!(quiet.stats().rdma_reads, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn no_schedule_matches_clean_fabric_exactly() {
+        // A fabric with an *empty* plan installed behaves byte-identically
+        // to one without any schedule: same durations, same stats.
+        let mut clean = fabric();
+        let mut empty = faulty(&FaultPlan::default());
+        for i in 0..50usize {
+            let bytes = 1000 + i * 37;
+            assert_eq!(
+                clean.rdma_read(0, i % 4, bytes).unwrap(),
+                empty.rdma_read(0, i % 4, bytes).unwrap()
+            );
+        }
+        let reads: Vec<(NodeIdx, usize)> = (0..16).map(|i| (i % 4, 4096)).collect();
+        assert_eq!(
+            clean.rdma_read_batch(1, &reads).unwrap(),
+            empty.rdma_read_batch(1, &reads).unwrap()
+        );
+        assert_eq!(
+            clean.rpc(0, 3, 64, 64).unwrap(),
+            empty.rpc(0, 3, 64, 64).unwrap()
+        );
+        assert_eq!(clean.stats().rdma_reads, empty.stats().rdma_reads);
+        assert_eq!(clean.stats().rdma_bytes, empty.stats().rdma_bytes);
+        assert_eq!(clean.stats().rdma_failures, 0);
+        assert_eq!(empty.stats().rdma_failures, 0);
+    }
+
+    #[test]
+    fn down_node_is_unreachable() {
+        let plan = FaultPlan {
+            crashes: vec![NodeCrash {
+                node: 2,
+                at: SimTime::from_secs(10),
+                restart: Some(SimTime::from_secs(20)),
+            }],
+            ..FaultPlan::default()
+        };
+        let mut f = faulty(&plan);
+        f.set_now(SimTime::from_secs(15));
+        assert_eq!(
+            f.rdma_read(0, 2, 64).unwrap_err(),
+            NetError::Unreachable { node: 2 }
+        );
+        assert_eq!(
+            f.rdma_read_batch(0, &[(1, 64), (2, 64)]).unwrap_err(),
+            NetError::Unreachable { node: 2 }
+        );
+        assert_eq!(f.stats().rdma_failures, 2);
+        // After the restart the node serves reads again.
+        f.set_now(SimTime::from_secs(25));
+        assert!(f.rdma_read(0, 2, 64).is_ok());
+    }
+
+    #[test]
+    fn error_window_fails_ops_and_retry_gives_up() {
+        let plan = FaultPlan {
+            links: vec![always_fail_window()],
+            seed: 3,
+            ..FaultPlan::default()
+        };
+        let mut f = faulty(&plan);
+        let policy = RetryPolicy::default();
+        let err = f
+            .rdma_read_batch_retry(0, &[(1, 4096)], &policy)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::Timeout { .. } | NetError::PartialRead { .. }
+        ));
+        assert_eq!(f.stats().retries, (policy.max_attempts - 1) as u64);
+        assert_eq!(f.stats().rdma_failures, policy.max_attempts as u64);
+    }
+
+    #[test]
+    fn retry_escapes_a_fault_window() {
+        // Window covers [0, 15ms); each failed attempt costs 10ms plus
+        // 1ms backoff, so the second attempt at t=11ms still fails but
+        // the third (t=24ms) lands after the window and succeeds.
+        let plan = FaultPlan {
+            links: vec![LinkFaultWindow {
+                src: None,
+                dst: None,
+                from: SimTime::ZERO,
+                until: SimTime::from_millis(15),
+                kind: LinkFaultKind::Error { drop_prob: 1.0 },
+            }],
+            ..FaultPlan::default()
+        };
+        let mut f = faulty(&plan);
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: SimDuration::from_millis(1),
+            max_backoff: SimDuration::from_millis(4),
+        };
+        let out = f.rdma_read_batch_retry(0, &[(1, 4096)], &policy).unwrap();
+        assert_eq!(out.attempts, 3);
+        let clean = fabric().rdma_read_batch(0, &[(1, 4096)]).unwrap();
+        // 2 failures à fault_timeout + backoffs (1ms + 2ms) + clean op.
+        let expected = f.config().fault_timeout.mul_f64(2.0) + policy.total_backoff(2) + clean;
+        assert_eq!(out.time, expected);
+        assert_eq!(out.backoff, policy.total_backoff(2));
+    }
+
+    #[test]
+    fn latency_spike_stretches_wire_time() {
+        let plan = FaultPlan {
+            links: vec![LinkFaultWindow {
+                src: Some(1),
+                dst: None,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(10),
+                kind: LinkFaultKind::LatencySpike { factor: 5.0 },
+            }],
+            ..FaultPlan::default()
+        };
+        let mut f = faulty(&plan);
+        let spiked = f.rdma_read(0, 1, 1 << 20).unwrap();
+        let clean = fabric().rdma_read(0, 1, 1 << 20).unwrap();
+        assert_eq!(spiked, clean.mul_f64(5.0));
+        // Local copies and unaffected links stay untouched.
+        assert_eq!(
+            f.rdma_read(2, 2, 1 << 20).unwrap(),
+            fabric().rdma_read(2, 2, 1 << 20).unwrap()
+        );
+    }
+
+    #[test]
+    fn rpc_drops_and_controller_check() {
+        let plan = FaultPlan {
+            rpc_drop_prob: 1.0,
+            seed: 11,
+            ..FaultPlan::default()
+        };
+        let mut f = faulty(&plan);
+        assert_eq!(
+            f.rpc(0, 1, 64, 64).unwrap_err(),
+            NetError::Timeout { node: 1 }
+        );
+        let policy = RetryPolicy::default();
+        assert!(f.controller_rpc_check(0, &policy).is_err());
+        assert!(f.stats().rpc_failures > 0);
+        // Without faults the gate is free and draws nothing.
+        let mut clean = fabric();
+        assert_eq!(
+            clean.controller_rpc_check(0, &policy).unwrap(),
+            SimDuration::ZERO
+        );
+        assert_eq!(clean.stats().rpc_failures, 0);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: SimDuration::from_millis(1),
+            max_backoff: SimDuration::from_millis(10),
+        };
+        assert_eq!(p.backoff(0), SimDuration::from_millis(1));
+        assert_eq!(p.backoff(1), SimDuration::from_millis(2));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(4));
+        assert_eq!(p.backoff(3), SimDuration::from_millis(8));
+        assert_eq!(p.backoff(4), SimDuration::from_millis(10)); // capped
+        assert_eq!(p.backoff(63), SimDuration::from_millis(10));
+        assert_eq!(p.backoff(64), SimDuration::from_millis(10)); // shl overflow guard
+    }
+
+    /// DetRng-driven property: for random (attempts, base delay, cap,
+    /// fault-window) combinations, the total retry delay matches the
+    /// closed form `k·fault_timeout + Σ backoff(i) + op_time` and no
+    /// single backoff exceeds the cap.
+    #[test]
+    fn retry_delay_matches_closed_form() {
+        let mut rng = DetRng::new(0x4E7);
+        for case in 0..64 {
+            let max_attempts = rng.range(1, 8) as u32;
+            let base_ms = rng.range(1, 20);
+            let cap_ms = rng.range(base_ms, base_ms * 16 + 1);
+            let policy = RetryPolicy {
+                max_attempts,
+                base_backoff: SimDuration::from_millis(base_ms),
+                max_backoff: SimDuration::from_millis(cap_ms),
+            };
+            // Every backoff respects the cap.
+            for i in 0..max_attempts {
+                assert!(policy.backoff(i) <= policy.max_backoff, "case {case}");
+            }
+            // Closed-form total: geometric until the cap kicks in, then
+            // flat — computed independently of RetryPolicy::total_backoff.
+            let retries = max_attempts - 1;
+            let mut expected_us = 0u64;
+            for i in 0..retries {
+                let raw = base_ms * 1000 * (1u64 << i);
+                expected_us += raw.min(cap_ms * 1000);
+            }
+            assert_eq!(
+                policy.total_backoff(retries).as_micros(),
+                expected_us,
+                "case {case}"
+            );
+
+            // Build a fault window long enough that every attempt fails,
+            // then check the simulated give-up delay via a success just
+            // after the window.
+            let mut f = fabric();
+            let window_ms = rng.range(1, 2000);
+            f.set_faults(FaultSchedule::compile(&FaultPlan {
+                links: vec![LinkFaultWindow {
+                    src: None,
+                    dst: None,
+                    from: SimTime::ZERO,
+                    until: SimTime::from_millis(window_ms),
+                    kind: LinkFaultKind::Error { drop_prob: 1.0 },
+                }],
+                ..FaultPlan::default()
+            }));
+            match f.rdma_read_batch_retry(0, &[(1, 4096)], &policy) {
+                Ok(out) => {
+                    // k failed attempts, then a clean one.
+                    let k = out.attempts - 1;
+                    let clean = fabric().rdma_read_batch(0, &[(1, 4096)]).unwrap();
+                    let expected = f.config().fault_timeout.mul_f64(k as f64)
+                        + policy.total_backoff(k)
+                        + clean;
+                    assert_eq!(out.time, expected, "case {case}");
+                    assert_eq!(out.backoff, policy.total_backoff(k), "case {case}");
+                }
+                Err(_) => {
+                    assert_eq!(f.stats().retries, (max_attempts - 1) as u64, "case {case}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn obs_counts_fault_outcomes() {
+        let obs = Obs::new(medes_obs::ObsConfig::enabled());
+        let plan = FaultPlan {
+            crashes: vec![NodeCrash {
+                node: 1,
+                at: SimTime::ZERO,
+                restart: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut f = Fabric::with_obs(4, NetConfig::default(), Arc::clone(&obs));
+        f.set_faults(FaultSchedule::compile(&plan));
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(f.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
+        assert_eq!(obs.counter("medes.net.err.unreachable"), 3);
+        assert_eq!(obs.counter("medes.net.retries"), 2);
+        assert_eq!(obs.counter("medes.net.retry_giveups"), 1);
     }
 }

@@ -7,6 +7,8 @@
 //!
 //! * [`time`] — microsecond-resolution simulated time and durations.
 //! * [`event`] — a stable binary-heap event queue ([`event::EventQueue`]).
+//! * [`fault`] — seeded fault-injection plans ([`fault::FaultPlan`]):
+//!   node crashes, link fault windows, RPC drops — all reproducible.
 //! * [`engine`] — a minimal driver loop ([`engine::Simulation`]) for
 //!   worlds that implement [`engine::World`].
 //! * [`rng`] — a from-scratch deterministic RNG ([`rng::DetRng`],
@@ -24,6 +26,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -51,7 +51,8 @@ fn full_pipeline_reconstructs_every_page() {
         FnId(0),
         &target,
         &resolver,
-    );
+    )
+    .expect("dedup op");
     assert!(outcome.table.patched_pages() > 0);
 
     // Manually reconstruct every patched page and compare bytes.
@@ -96,7 +97,8 @@ fn dedup_footprint_is_always_smaller_when_pages_patch() {
         FnId(0),
         &target,
         &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&b), FnId(0))),
-    );
+    )
+    .expect("dedup op");
     let resident = outcome.table.resident_model_bytes();
     assert!(resident < target.total_bytes());
     // patch_max_frac guarantees each patched page beats a verbatim page.
@@ -132,7 +134,8 @@ fn aslr_reduces_dedup_effectiveness_but_not_correctness() {
         FnId(0),
         &tgt_off,
         &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&b), FnId(0))),
-    );
+    )
+    .expect("dedup op");
 
     let base_on = build(AslrConfig::LINUX, 1);
     let tgt_on = build(AslrConfig::LINUX, 2);
@@ -147,7 +150,8 @@ fn aslr_reduces_dedup_effectiveness_but_not_correctness() {
         FnId(0),
         &tgt_on,
         &resolver_on,
-    );
+    )
+    .expect("dedup op");
 
     assert!(
         on.saved_model_bytes() <= off.saved_model_bytes(),
@@ -228,7 +232,8 @@ fn savings_accounting_is_consistent() {
             FnId(0),
             &target,
             &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&bb), FnId(0))),
-        );
+        )
+        .expect("dedup op");
         let full = target.total_bytes();
         let resident = outcome.table.resident_model_bytes();
         let saved = outcome.saved_model_bytes();
