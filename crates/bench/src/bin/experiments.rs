@@ -1,7 +1,7 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <id>... [--quick] [--results <dir>] [--obs] [--faults rate=<f>[,seed=<u64>]]
+//! experiments <id>... [--quick] [--results <dir>] [--obs] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>]
 //! experiments all [--quick]
 //! experiments list
 //! experiments trace summarize <trace.jsonl> [--top <n>]
@@ -15,6 +15,11 @@
 //! link-fault windows, RPC drops) into every cluster run, synthesized
 //! from the seed at the experiment's scale. The `chaos` experiment
 //! sweeps fault rates on its own and ignores this flag.
+//!
+//! `--cache <MiB>` enables the coalesced restore read path with a
+//! per-node base-page cache of the given capacity in every cluster
+//! run. The `cache` experiment sweeps capacities on its own and
+//! ignores this flag.
 
 use medes_bench::common::{ExpConfig, FaultSpec};
 use medes_bench::{experiments, summarize};
@@ -23,7 +28,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--faults rate=<f>[,seed=<u64>]]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\nids: {}",
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\nids: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -90,6 +95,12 @@ fn main() {
                     usage();
                 };
                 cfg.faults = Some(spec);
+            }
+            "--cache" => {
+                let Some(mib) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    usage();
+                };
+                cfg.cache = Some(mib);
             }
             "list" => {
                 for id in experiments::ALL {

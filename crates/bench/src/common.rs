@@ -1,6 +1,6 @@
 //! Shared experiment setup: standard workloads and configurations.
 
-use medes_core::config::{PlatformConfig, PolicyKind};
+use medes_core::config::{PlatformConfig, PolicyKind, RestoreReadConfig};
 use medes_core::metrics::RunReport;
 use medes_core::platform::Platform;
 use medes_policy::medes::Objective;
@@ -56,6 +56,11 @@ pub struct ExpConfig {
     /// [`FaultPlan`] by [`ExpConfig::platform`]. `None` keeps every
     /// experiment byte-identical to the fault-free build.
     pub faults: Option<FaultSpec>,
+    /// Optional restore read-path cache capacity in MiB (`--cache`):
+    /// turns on read coalescing plus the per-node base-page cache in
+    /// every platform built by [`ExpConfig::platform`]. `None` keeps
+    /// the legacy read path (and byte-identical outputs).
+    pub cache: Option<usize>,
 }
 
 impl ExpConfig {
@@ -66,6 +71,7 @@ impl ExpConfig {
             results_dir: PathBuf::from("results"),
             obs: false,
             faults: None,
+            cache: None,
         }
     }
 
@@ -191,6 +197,9 @@ impl ExpConfig {
                 spec.rate,
             );
         }
+        if let Some(mib) = self.cache {
+            cfg.read_path = RestoreReadConfig::cached(mib << 20);
+        }
         cfg
     }
 
@@ -288,6 +297,16 @@ mod tests {
         assert!(!plan.is_empty());
         // Same spec, same plan: synthesis is deterministic.
         assert_eq!(plan, cfg.platform().faults);
+    }
+
+    #[test]
+    fn cache_flag_activates_read_path() {
+        let mut cfg = ExpConfig::quick();
+        assert!(!cfg.platform().read_path.active());
+        cfg.cache = Some(64);
+        let rp = cfg.platform().read_path;
+        assert!(rp.coalesce);
+        assert_eq!(rp.page_cache_bytes, 64 << 20);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! One module per paper artifact (table/figure). See `DESIGN.md` for
 //! the experiment index.
 
+pub mod cache;
 pub mod chaos;
 pub mod fig1;
 pub mod fig10;
@@ -40,6 +41,7 @@ pub const ALL: &[&str] = &[
     "fig16",
     "overheads",
     "chaos",
+    "cache",
 ];
 
 /// Dispatches one experiment by id.
@@ -62,6 +64,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "fig16" => fig16::run(cfg),
         "overheads" => overheads::run(cfg),
         "chaos" => chaos::run(cfg),
+        "cache" => cache::run(cfg),
         _ => return None,
     };
     Some(report)

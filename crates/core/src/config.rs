@@ -9,6 +9,43 @@ use medes_policy::MedesPolicyConfig;
 use medes_sim::fault::FaultPlan;
 use medes_sim::SimDuration;
 
+/// Restore read-path configuration: read coalescing and the per-node
+/// base-page cache. The default is fully disabled, which preserves the
+/// legacy one-read-per-patched-page behaviour bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RestoreReadConfig {
+    /// Deduplicate the `(base sandbox, base page)` read set before
+    /// hitting the fabric: each distinct base page transfers once per
+    /// restore/dedup op instead of once per patched page.
+    pub coalesce: bool,
+    /// Paper-scale capacity of each node's base-page cache; 0 disables
+    /// the cache. Cached bytes are charged to node memory.
+    pub page_cache_bytes: usize,
+}
+
+impl RestoreReadConfig {
+    /// True when either read-path feature changes restore behaviour.
+    pub fn active(&self) -> bool {
+        self.coalesce || self.page_cache_bytes > 0
+    }
+
+    /// Coalescing on, cache off.
+    pub fn coalescing() -> Self {
+        RestoreReadConfig {
+            coalesce: true,
+            page_cache_bytes: 0,
+        }
+    }
+
+    /// Coalescing on plus a cache of the given paper-scale capacity.
+    pub fn cached(page_cache_bytes: usize) -> Self {
+        RestoreReadConfig {
+            coalesce: true,
+            page_cache_bytes,
+        }
+    }
+}
+
 /// Which sandbox-management policy the platform runs.
 #[derive(Debug, Clone)]
 pub enum PolicyKind {
@@ -76,6 +113,10 @@ pub struct PlatformConfig {
     pub faults: FaultPlan,
     /// Retry/backoff policy for fabric operations under fault injection.
     pub retry: RetryPolicy,
+    /// Restore read-path features (coalescing + base-page cache).
+    /// Disabled by default: restores then issue one read per patched
+    /// page exactly as before.
+    pub read_path: RestoreReadConfig,
 }
 
 impl PlatformConfig {
@@ -105,6 +146,7 @@ impl PlatformConfig {
             obs: ObsConfig::default(),
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
+            read_path: RestoreReadConfig::default(),
         }
     }
 
@@ -159,6 +201,15 @@ mod tests {
     fn scale_conversion() {
         let c = PlatformConfig::paper_default();
         assert_eq!(c.to_paper_bytes(1 << 20), 64 << 20);
+    }
+
+    #[test]
+    fn read_path_defaults_to_legacy() {
+        let c = PlatformConfig::paper_default();
+        assert!(!c.read_path.active(), "read path must default off");
+        assert!(RestoreReadConfig::coalescing().active());
+        assert!(RestoreReadConfig::cached(1 << 20).active());
+        assert_eq!(RestoreReadConfig::cached(1 << 20).page_cache_bytes, 1 << 20);
     }
 
     #[test]

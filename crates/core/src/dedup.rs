@@ -23,6 +23,7 @@ use medes_mem::{MemoryImage, PAGE_SIZE};
 use medes_net::{Fabric, NetError};
 use medes_obs::Obs;
 use medes_sim::{SimDuration, SimTime};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Wall-time breakdown of one dedup op (background work).
@@ -127,8 +128,14 @@ pub fn dedup_op(
     let mut verbatim_pages = 0usize;
     let mut same_fn_pages = 0usize;
     let mut cross_fn_pages = 0usize;
+    // First-seen order with a set membership test: `referenced_bases`
+    // stays deterministic without the quadratic `Vec::contains` scan.
     let mut referenced: Vec<SandboxId> = Vec::new();
+    let mut referenced_set: HashSet<SandboxId> = HashSet::new();
     let mut remote_reads: Vec<(usize, usize)> = Vec::new(); // (node, bytes)
+                                                            // Under read coalescing, each distinct base page is read once per
+                                                            // op no matter how many pages patch against it.
+    let mut read_set: HashSet<(SandboxId, u32)> = HashSet::new();
     let mut patched_pages = 0usize;
 
     let encode_cfg = EncodeConfig::with_level(cfg.delta_level);
@@ -168,12 +175,16 @@ pub fn dedup_op(
                 } else {
                     cross_fn_pages += 1;
                 }
-                if !referenced.contains(&loc.sandbox) {
+                if referenced_set.insert(loc.sandbox) {
                     referenced.push(loc.sandbox);
                 }
                 // Base page is read (possibly remotely) to compute the
-                // patch; account paper-scale bytes on the fabric.
-                remote_reads.push((loc.node.0, PAGE_SIZE * cfg.mem_scale));
+                // patch; account paper-scale bytes on the fabric. With
+                // coalescing, a page already read this op is diffed
+                // against the local copy for free.
+                if !cfg.read_path.coalesce || read_set.insert((loc.sandbox, loc.page)) {
+                    remote_reads.push((loc.node.0, PAGE_SIZE * cfg.mem_scale));
+                }
                 entries.push(PageEntry::Patched {
                     base_sandbox: loc.sandbox,
                     base_node: loc.node,
@@ -290,6 +301,126 @@ mod tests {
         assert!(outcome.same_fn_pages > 0);
         assert_eq!(outcome.referenced_bases, vec![SandboxId(1)]);
         assert!(outcome.timing.total() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn referenced_bases_keep_first_seen_order() {
+        // Two bases indexed; whatever subset the election picks, the
+        // output order must equal the first appearance order in the
+        // page table — the set-based membership test must not change it.
+        let (cfg, mut factory, mut registry, mut fabric) = setup();
+        let base0 = factory.pin(FnId(0), 100);
+        let base1 = factory.pin(FnId(1), 100);
+        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base0);
+        index_base_sandbox(&cfg, &mut registry, NodeId(2), SandboxId(2), &base1);
+        let target = factory.image(FnId(0), 200);
+        let b0 = Arc::clone(&base0);
+        let b1 = Arc::clone(&base1);
+        let resolver = move |id: SandboxId| match id {
+            SandboxId(1) => Some((Arc::clone(&b0), FnId(0))),
+            SandboxId(2) => Some((Arc::clone(&b1), FnId(1))),
+            _ => None,
+        };
+        let outcome = dedup_op(
+            &cfg,
+            &mut registry,
+            &mut fabric,
+            NodeId(1),
+            FnId(0),
+            &target,
+            &resolver,
+        )
+        .expect("dedup op");
+        let mut expect = Vec::new();
+        for entry in &outcome.table.entries {
+            if let PageEntry::Patched { base_sandbox, .. } = entry {
+                if !expect.contains(base_sandbox) {
+                    expect.push(*base_sandbox);
+                }
+            }
+        }
+        assert!(!expect.is_empty(), "something must dedup");
+        assert_eq!(outcome.referenced_bases, expect);
+    }
+
+    #[test]
+    fn coalescing_reduces_dedup_fabric_reads() {
+        // Synthetic images: the target is six identical clones of base
+        // page 2, so every patched page elects the SAME base page and
+        // coalescing has duplicates to remove.
+        let synth = |pages: usize, seed: u64| {
+            let mut data = vec![0u8; pages * PAGE_SIZE];
+            let mut s = seed | 1;
+            for b in data.iter_mut() {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *b = (s >> 33) as u8;
+            }
+            MemoryImage::new(vec![medes_mem::region::Region {
+                kind: medes_mem::region::RegionKind::Heap,
+                name: "synth".into(),
+                va_base: 0x7000_0000,
+                data,
+            }])
+        };
+        let mut cfg = PlatformConfig::small_test();
+        let mut registry = FingerprintRegistry::new();
+        let mut fabric = Fabric::new(cfg.nodes, medes_net::NetConfig::default());
+        let base = Arc::new(synth(4, 0xBA5E));
+        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+        let mut data = Vec::new();
+        for _ in 0..6 {
+            data.extend_from_slice(base.page(2));
+        }
+        let target = MemoryImage::new(vec![medes_mem::region::Region {
+            kind: medes_mem::region::RegionKind::Heap,
+            name: "synth".into(),
+            va_base: 0x7100_0000,
+            data,
+        }]);
+        let b = Arc::clone(&base);
+        let resolver = move |id: SandboxId| (id == SandboxId(1)).then(|| (Arc::clone(&b), FnId(0)));
+
+        let legacy = dedup_op(
+            &cfg,
+            &mut registry,
+            &mut fabric,
+            NodeId(1),
+            FnId(0),
+            &target,
+            &resolver,
+        )
+        .expect("dedup op");
+        let legacy_reads = fabric.stats().rdma_reads;
+        assert_eq!(legacy_reads as usize, legacy.table.patched_pages());
+
+        cfg.read_path = crate::config::RestoreReadConfig::coalescing();
+        let coalesced = dedup_op(
+            &cfg,
+            &mut registry,
+            &mut fabric,
+            NodeId(1),
+            FnId(0),
+            &target,
+            &resolver,
+        )
+        .expect("dedup op");
+        let coalesced_reads = (fabric.stats().rdma_reads - legacy_reads) as usize;
+        let distinct = coalesced.table.distinct_base_pages().len();
+        assert_eq!(coalesced_reads, distinct);
+        assert!(
+            distinct < coalesced.table.patched_pages(),
+            "duplicate base-page references must exist"
+        );
+        // The residual representation itself is unchanged — coalescing
+        // only affects how many reads hit the fabric.
+        assert_eq!(
+            coalesced.table.patched_pages(),
+            legacy.table.patched_pages()
+        );
+        assert_eq!(coalesced.table.patch_bytes, legacy.table.patch_bytes);
+        assert!(coalesced.timing.base_read < legacy.timing.base_read);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   → registry lookup → base-page election → Xdelta-style patch.
 //! * [`restore`] — the restore op (§4.2): batched RDMA base-page reads →
 //!   patch application → optimized CRIU restore (~140 ms path).
+//! * [`pagecache`] — the per-node base-page LRU cache behind the
+//!   coalesced restore read path; repeat restores of hot base pages
+//!   skip the fabric entirely.
 //! * [`sandbox`] — the sandbox lifecycle state machine of Fig 4b.
 //! * [`controller`] — scheduler state, per-function statistics, base-
 //!   sandbox demarcation (`D/B > T`), policy targets.
@@ -46,6 +49,7 @@ pub mod dedup;
 pub mod ids;
 pub mod images;
 pub mod metrics;
+pub mod pagecache;
 pub mod platform;
 pub mod registry;
 pub mod restore;

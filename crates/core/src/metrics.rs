@@ -139,6 +139,18 @@ pub struct RunReport {
     /// Registry chunk locations still pointing at down nodes at the end
     /// of the run — must be zero (crash purge removes them all).
     pub registry_dead_node_locs: usize,
+    /// Base-page cache hits summed over all node caches (restore read
+    /// path). Zero when the cache is disabled.
+    pub cache_hits: u64,
+    /// Base-page cache misses summed over all node caches.
+    pub cache_misses: u64,
+    /// Base-page cache LRU evictions (capacity or memory pressure).
+    pub cache_evictions: u64,
+    /// Base-page cache entries dropped because their base sandbox died.
+    pub cache_invalidations: u64,
+    /// Paper-scale bytes served from the base-page caches instead of
+    /// the fabric.
+    pub cache_bytes_saved: u64,
     /// Wall-clock-equivalent simulated duration of the run.
     pub duration_us: u64,
 }

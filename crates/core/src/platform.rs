@@ -26,8 +26,9 @@ use crate::dedup::{dedup_op, index_base_sandbox, DedupOutcome};
 use crate::ids::{FnId, NodeId, SandboxId};
 use crate::images::ImageFactory;
 use crate::metrics::{FnDedupStats, MetricsCollector, RequestRecord, RunReport, StartType};
+use crate::pagecache::BasePageCache;
 use crate::registry::FingerprintRegistry;
-use crate::restore::restore_op;
+use crate::restore::restore_op_cached;
 use crate::sandbox::{Sandbox, SandboxState};
 use medes_mem::MemoryImage;
 use medes_net::Fabric;
@@ -39,7 +40,7 @@ use medes_sim::engine::Scheduler;
 use medes_sim::fault::FaultSchedule;
 use medes_sim::{DetRng, SimDuration, SimTime, Simulation, World};
 use medes_trace::{FunctionProfile, Trace};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Retry cadence for requests parked in the wait queue.
@@ -202,6 +203,9 @@ struct Cluster {
     fns: Vec<FunctionRuntime>,
     /// Base-sandbox resolver data: id → (function, pinned image).
     bases: HashMap<SandboxId, (FnId, Arc<MemoryImage>)>,
+    /// Per-node base-page caches for the restore read path. Present in
+    /// every run (zero-capacity when disabled, where they are inert).
+    caches: Vec<BasePageCache>,
     fixed_ka: Option<FixedKeepAlive>,
     adaptive_ka: Option<AdaptiveKeepAlive>,
     medes: Option<MedesPolicyConfig>,
@@ -236,6 +240,15 @@ impl Cluster {
             fns: profiles.into_iter().map(FunctionRuntime::new).collect(),
             sandboxes: HashMap::new(),
             bases: HashMap::new(),
+            caches: (0..cfg.nodes)
+                .map(|_| {
+                    BasePageCache::with_obs(
+                        cfg.read_path.page_cache_bytes,
+                        cfg.mem_scale,
+                        Arc::clone(&obs),
+                    )
+                })
+                .collect(),
             fixed_ka,
             adaptive_ka,
             medes,
@@ -269,6 +282,35 @@ impl Cluster {
             .saturating_sub(self.nodes[node.0].mem_used)
     }
 
+    fn cache_enabled(&self) -> bool {
+        self.cfg.read_path.page_cache_bytes > 0
+    }
+
+    /// Settles the node-memory charge after cache mutations: cached
+    /// base pages are real resident bytes and are charged like any
+    /// other sandbox state. No-op (and no metrics traffic) when the
+    /// cache usage did not change.
+    fn reconcile_cache_charge(&mut self, now: SimTime, node: NodeId, before: usize) {
+        let after = self.caches[node.0].used_paper_bytes();
+        if after != before {
+            self.charge(now, node, after as i64 - before as i64);
+        }
+    }
+
+    /// Drops a dead base's pages from every node cache: once a base
+    /// sandbox is purged (eviction or crash) its pages must never be
+    /// served from cache again.
+    fn invalidate_cached_base(&mut self, now: SimTime, base: SandboxId) {
+        if !self.cache_enabled() {
+            return;
+        }
+        for i in 0..self.caches.len() {
+            let before = self.caches[i].used_paper_bytes();
+            self.caches[i].invalidate_sandbox(base);
+            self.reconcile_cache_charge(now, NodeId(i), before);
+        }
+    }
+
     /// Ensures `needed` free bytes on a node by evicting idle sandboxes
     /// (LRU; base sandboxes only when unreferenced, and last).
     /// `exclude` protects a sandbox the caller is about to use (e.g. the
@@ -283,6 +325,17 @@ impl Cluster {
     ) -> bool {
         if self.node_free(node) >= needed {
             return true;
+        }
+        // Shed cache memory first: cached base pages are strictly less
+        // valuable than live sandboxes (they can always be re-fetched).
+        if self.cache_enabled() {
+            let shortfall = needed - self.node_free(node);
+            let before = self.caches[node.0].used_paper_bytes();
+            self.caches[node.0].trim(shortfall);
+            self.reconcile_cache_charge(now, node, before);
+            if self.node_free(node) >= needed {
+                return true;
+            }
         }
         // Gather idle candidates on this node, LRU first. Ordering:
         // idle *warm* sandboxes are evicted before *dedup* sandboxes —
@@ -356,22 +409,20 @@ impl Cluster {
             self.factory.unpin(sb.func, sb.instance_seed);
             self.bases.remove(&id);
             self.fns[sb.func.0].bases.retain(|&b| b != id);
+            self.invalidate_cached_base(now, id);
         }
         self.metrics.live_update(now, self.live_count() as f64);
     }
 
     fn release_base_refs(&mut self, table: &crate::sandbox::DedupPageTable) {
-        let mut seen: Vec<SandboxId> = Vec::new();
+        let mut seen: HashSet<SandboxId> = HashSet::new();
         for entry in &table.entries {
             if let crate::sandbox::PageEntry::Patched { base_sandbox, .. } = entry {
-                if !seen.contains(base_sandbox) {
-                    seen.push(*base_sandbox);
+                if seen.insert(*base_sandbox) {
+                    if let Some(sb) = self.sandboxes.get_mut(base_sandbox) {
+                        sb.refcount = sb.refcount.saturating_sub(1);
+                    }
                 }
-            }
-        }
-        for base in seen {
-            if let Some(sb) = self.sandboxes.get_mut(&base) {
-                sb.refcount = sb.refcount.saturating_sub(1);
             }
         }
     }
@@ -445,6 +496,14 @@ impl Cluster {
             0,
             "crash purge must drop every registry chunk on the dead node"
         );
+        // The dead node's own cache dies with it (its memory is gone);
+        // entries for its bases were already invalidated cluster-wide
+        // by the crash purges above.
+        if self.cache_enabled() {
+            let before = self.caches[node].used_paper_bytes();
+            self.caches[node].clear();
+            self.reconcile_cache_charge(now, NodeId(node), before);
+        }
         for f in affected {
             self.re_demarcate(f);
         }
@@ -480,6 +539,7 @@ impl Cluster {
             self.factory.unpin(sb.func, sb.instance_seed);
             self.bases.remove(&id);
             self.fns[f].bases.retain(|&b| b != id);
+            self.invalidate_cached_base(now, id);
         }
         self.metrics.live_update(now, self.live_count() as f64);
         Some(f)
@@ -560,20 +620,53 @@ impl Cluster {
                 } else {
                     None
                 };
-                let bases = &self.bases;
-                let restored = restore_op(
-                    &self.cfg,
-                    &mut self.fabric,
-                    node,
-                    table.as_ref().expect("dedup sandbox has a table"),
-                    &|bid| bases.get(&bid).map(|(f, img)| (Arc::clone(img), *f)),
-                    verify.as_deref(),
-                );
+                let cache_on = self.cache_enabled();
+                let cache_before = self.caches[node.0].used_paper_bytes();
+                let restored = {
+                    let bases = &self.bases;
+                    let cache = if cache_on {
+                        Some(&mut self.caches[node.0])
+                    } else {
+                        None
+                    };
+                    restore_op_cached(
+                        &self.cfg,
+                        &mut self.fabric,
+                        node,
+                        table.as_ref().expect("dedup sandbox has a table"),
+                        &|bid| bases.get(&bid).map(|(f, img)| (Arc::clone(img), *f)),
+                        cache,
+                        verify.as_deref(),
+                    )
+                };
+                if cache_on {
+                    // Charge freshly cached pages to node memory, and
+                    // trim the cache back if that pushed the node over
+                    // its limit (cached pages are expendable).
+                    self.reconcile_cache_charge(now, node, cache_before);
+                    let over = self.nodes[node.0]
+                        .mem_used
+                        .saturating_sub(self.cfg.node_mem_bytes);
+                    if over > 0 {
+                        let before = self.caches[node.0].used_paper_bytes();
+                        self.caches[node.0].trim(over);
+                        self.reconcile_cache_charge(now, node, before);
+                    }
+                }
                 match restored {
                     Ok(outcome) => {
                         outcome
                             .timing
                             .record(&self.obs, now, &self.fns[f].profile.name);
+                        if self.cfg.read_path.active() && self.obs.enabled() {
+                            // The cache span covers the base-read phase
+                            // it accelerates.
+                            self.obs
+                                .span("medes.restore.cache", now)
+                                .attr("hits", outcome.cache_hits)
+                                .attr("misses", outcome.cache_misses)
+                                .end(now + outcome.timing.base_read);
+                        }
                         let sb = self.sandboxes.get_mut(&id).expect("sandbox exists");
                         sb.transition(SandboxState::Restoring);
                         let grow = m_w as i64 - cur_mem as i64;
@@ -917,6 +1010,14 @@ impl Cluster {
             .filter(|&i| self.nodes[i].down)
             .map(|i| self.registry.locs_on_node(NodeId(i)))
             .sum();
+        for c in &self.caches {
+            let s = c.stats();
+            self.metrics.report.cache_hits += s.hits;
+            self.metrics.report.cache_misses += s.misses;
+            self.metrics.report.cache_evictions += s.evictions;
+            self.metrics.report.cache_invalidations += s.invalidations;
+            self.metrics.report.cache_bytes_saved += s.bytes_saved;
+        }
         let mut report = self.metrics.finish(end);
         report.requests.sort_by_key(|r| r.id);
         report

@@ -12,12 +12,15 @@
 use crate::config::PlatformConfig;
 use crate::dedup::BaseResolver;
 use crate::ids::NodeId;
+use crate::pagecache::BasePageCache;
 use crate::sandbox::{DedupPageTable, PageEntry};
 use medes_delta::apply;
 use medes_mem::{MemoryImage, PAGE_SIZE};
 use medes_net::{Fabric, NetError};
 use medes_obs::Obs;
 use medes_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Wall-time breakdown of one restore (the dedup-start latency).
 #[derive(Debug, Clone, Copy, Default)]
@@ -70,8 +73,20 @@ pub struct RestoreOutcome {
     /// Timing breakdown (this is what Fig 8 plots).
     pub timing: RestoreTiming,
     /// Paper-scale bytes transiently read for reconstruction — the
-    /// `m_R` overhead in the §5 policy model.
+    /// `m_R` overhead in the §5 policy model. With the legacy read
+    /// path this is one page per *patched page*
+    /// ([`DedupPageTable::read_paper_bytes`]); with coalescing it is
+    /// one page per *distinct base page*
+    /// ([`DedupPageTable::coalesced_read_paper_bytes`]), cache hits
+    /// included (they still occupy transient reconstruction memory).
     pub read_paper_bytes: usize,
+    /// Distinct base pages served from the node's base-page cache
+    /// (always 0 on the legacy read path).
+    pub cache_hits: u64,
+    /// Distinct base pages that had to be fetched over the fabric
+    /// (always 0 on the legacy read path, which does not track
+    /// distinct pages).
+    pub cache_misses: u64,
 }
 
 /// Restore failures.
@@ -106,12 +121,150 @@ impl std::fmt::Display for RestoreError {
 
 impl std::error::Error for RestoreError {}
 
-/// Runs the restore op.
+/// Runs the restore op with the read path selected by
+/// `cfg.read_path` and no cache (callers holding a per-node cache use
+/// [`restore_op_cached`]).
 ///
 /// When `verify_against` is provided, every patched page is actually
 /// reconstructed and compared byte-for-byte with the original image —
 /// the end-to-end correctness check of the whole dedup pipeline.
 pub fn restore_op(
+    cfg: &PlatformConfig,
+    fabric: &mut Fabric,
+    node: NodeId,
+    table: &DedupPageTable,
+    bases: &BaseResolver<'_>,
+    verify_against: Option<&MemoryImage>,
+) -> Result<RestoreOutcome, RestoreError> {
+    restore_op_cached(cfg, fabric, node, table, bases, None, verify_against)
+}
+
+/// Runs the restore op with an optional per-node base-page cache.
+///
+/// With `cfg.read_path` inactive (the default) this is the legacy read
+/// path — one fabric read per patched page — and `cache` is ignored.
+/// When active, the read set is first coalesced to distinct
+/// `(base sandbox, base page)` pairs; pairs present in `cache` are
+/// served from local memory (`local_mem_bps`) without touching the
+/// fabric, and the remaining pages are fetched in one batched RDMA
+/// read and inserted into the cache once the transfer succeeds.
+pub fn restore_op_cached(
+    cfg: &PlatformConfig,
+    fabric: &mut Fabric,
+    node: NodeId,
+    table: &DedupPageTable,
+    bases: &BaseResolver<'_>,
+    mut cache: Option<&mut BasePageCache>,
+    verify_against: Option<&MemoryImage>,
+) -> Result<RestoreOutcome, RestoreError> {
+    if !cfg.read_path.active() {
+        return restore_legacy(cfg, fabric, node, table, bases, verify_against);
+    }
+    let scale = cfg.mem_scale;
+    let page_paper = PAGE_SIZE * scale;
+    let patched = table.patched_pages();
+    let distinct = table.distinct_base_pages();
+
+    // Resolve every referenced base up front: a failed resolve must
+    // return before anything is accounted — no phantom reads.
+    let mut imgs: HashMap<u64, Arc<MemoryImage>> = HashMap::new();
+    for (sb, _, _) in &distinct {
+        if let std::collections::hash_map::Entry::Vacant(slot) = imgs.entry(sb.0) {
+            let Some((img, _)) = bases(*sb) else {
+                return Err(RestoreError::MissingBase { sandbox: sb.0 });
+            };
+            slot.insert(img);
+        }
+    }
+
+    // Cache pass over the coalesced read set: hits keep their bytes
+    // (verification must see what the cache actually returned), misses
+    // join the fabric batch.
+    let mut reads: Vec<(usize, usize)> = Vec::new();
+    let mut missed: Vec<usize> = Vec::new();
+    let mut hit_bytes: HashMap<(u64, u32), Vec<u8>> = HashMap::new();
+    let mut hits = 0u64;
+    for (i, (sb, bnode, page)) in distinct.iter().enumerate() {
+        match cache.as_mut().and_then(|c| c.lookup(*sb, *page)) {
+            Some(bytes) => {
+                hits += 1;
+                if verify_against.is_some() {
+                    hit_bytes.insert((sb.0, *page), bytes);
+                }
+            }
+            None => {
+                missed.push(i);
+                reads.push((bnode.0, page_paper));
+            }
+        }
+    }
+
+    // Reconstruct and compare every patched page, reading the base
+    // bytes from the cache where it hit — a stale cache entry then
+    // surfaces as corruption instead of silently passing.
+    if let Some(original) = verify_against {
+        for (idx, entry) in table.entries.iter().enumerate() {
+            let PageEntry::Patched {
+                base_sandbox,
+                base_page,
+                patch,
+                ..
+            } = entry
+            else {
+                continue;
+            };
+            let img = &imgs[&base_sandbox.0];
+            let base_bytes: &[u8] = hit_bytes
+                .get(&(base_sandbox.0, *base_page))
+                .map(Vec::as_slice)
+                .unwrap_or_else(|| img.page(*base_page as usize));
+            let rebuilt =
+                apply(base_bytes, patch).map_err(|_| RestoreError::Corrupt { page: idx })?;
+            if rebuilt != original.page(idx) {
+                return Err(RestoreError::Corrupt { page: idx });
+            }
+        }
+    }
+
+    let mut base_read = fabric
+        .rdma_read_batch_retry(node.0, &reads, &cfg.retry)
+        .map_err(RestoreError::Net)?
+        .time;
+    if hits > 0 {
+        base_read += SimDuration::from_secs_f64(
+            (hits as usize * page_paper) as f64 / fabric.config().local_mem_bps,
+        );
+    }
+    // Fetched pages enter the cache only after the transfer succeeded.
+    if let Some(c) = cache.as_mut() {
+        for &i in &missed {
+            let (sb, _, page) = distinct[i];
+            c.insert(sb, page, imgs[&sb.0].page(page as usize));
+        }
+    }
+
+    let ckpt = cfg.ckpt.restore_time(
+        table.full_paper_bytes(scale),
+        &medes_ckpt::ProcessSpec::default(),
+        &medes_ckpt::RestoreOptions::MEDES,
+    );
+    Ok(RestoreOutcome {
+        timing: RestoreTiming {
+            base_read,
+            page_compute: cfg
+                .patch_apply_per_page
+                .mul_f64(patched as f64 * scale as f64),
+            ckpt_restore: ckpt.total(),
+        },
+        read_paper_bytes: distinct.len() * page_paper,
+        cache_hits: hits,
+        cache_misses: missed.len() as u64,
+    })
+}
+
+/// The legacy read path: one read per patched page, no coalescing, no
+/// cache. Kept bit-identical to the pre-read-path implementation.
+fn restore_legacy(
     cfg: &PlatformConfig,
     fabric: &mut Fabric,
     node: NodeId,
@@ -134,12 +287,12 @@ pub fn restore_op(
             continue;
         };
         patched += 1;
-        reads.push((base_node.0, PAGE_SIZE * scale));
         let Some((base_img, _)) = bases(*base_sandbox) else {
             return Err(RestoreError::MissingBase {
                 sandbox: base_sandbox.0,
             });
         };
+        reads.push((base_node.0, PAGE_SIZE * scale));
         if let Some(original) = verify_against {
             let base_bytes = base_img.page(*base_page as usize);
             let rebuilt =
@@ -154,9 +307,8 @@ pub fn restore_op(
         .rdma_read_batch_retry(node.0, &reads, &cfg.retry)
         .map_err(RestoreError::Net)?
         .time;
-    let paper_bytes = table.entries.len() * PAGE_SIZE * scale;
     let ckpt = cfg.ckpt.restore_time(
-        paper_bytes,
+        table.full_paper_bytes(scale),
         &medes_ckpt::ProcessSpec::default(),
         &medes_ckpt::RestoreOptions::MEDES,
     );
@@ -169,13 +321,16 @@ pub fn restore_op(
     };
     Ok(RestoreOutcome {
         timing,
-        read_paper_bytes: patched * PAGE_SIZE * scale,
+        read_paper_bytes: table.read_paper_bytes(scale),
+        cache_hits: 0,
+        cache_misses: 0,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RestoreReadConfig;
     use crate::dedup::{dedup_op, index_base_sandbox};
     use crate::ids::{FnId, SandboxId};
     use crate::images::ImageFactory;
@@ -184,6 +339,67 @@ mod tests {
     use medes_net::NetConfig;
     use medes_trace::functionbench_suite;
     use std::sync::Arc;
+
+    /// A page-aligned image of deterministic pseudo-random content.
+    fn synth_image(pages: usize, seed: u64) -> MemoryImage {
+        let mut data = vec![0u8; pages * PAGE_SIZE];
+        let mut s = seed | 1;
+        for b in data.iter_mut() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (s >> 33) as u8;
+        }
+        MemoryImage::new(vec![medes_mem::region::Region {
+            kind: medes_mem::region::RegionKind::Heap,
+            name: "synth".into(),
+            va_base: 0x7000_0000,
+            data,
+        }])
+    }
+
+    /// A pipeline whose dedup table contains DUPLICATE base-page
+    /// references: the target is `copies` identical clones of one base
+    /// page, so every patched entry elects the same base page.
+    fn duplicate_pipeline() -> (
+        PlatformConfig,
+        Fabric,
+        DedupPageTable,
+        Arc<MemoryImage>,
+        MemoryImage,
+    ) {
+        let cfg = PlatformConfig::small_test();
+        let mut registry = FingerprintRegistry::new();
+        let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
+        let base = Arc::new(synth_image(4, 0xBA5E));
+        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+        let mut data = Vec::new();
+        for _ in 0..6 {
+            data.extend_from_slice(base.page(2));
+        }
+        let target = MemoryImage::new(vec![medes_mem::region::Region {
+            kind: medes_mem::region::RegionKind::Heap,
+            name: "synth".into(),
+            va_base: 0x7100_0000,
+            data,
+        }]);
+        let base_arc = Arc::clone(&base);
+        let outcome = dedup_op(
+            &cfg,
+            &mut registry,
+            &mut fabric,
+            NodeId(1),
+            FnId(0),
+            &target,
+            &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&base_arc), FnId(0))),
+        )
+        .expect("dedup op");
+        assert!(
+            outcome.table.distinct_base_pages().len() < outcome.table.patched_pages(),
+            "synthetic target must produce duplicate base-page references"
+        );
+        (cfg, fabric, outcome.table, base, target)
+    }
 
     fn pipeline() -> (
         PlatformConfig,
@@ -241,6 +457,178 @@ mod tests {
         let (cfg, mut fabric, table, _base, _target) = pipeline();
         let err = restore_op(&cfg, &mut fabric, NodeId(1), &table, &|_| None, None).unwrap_err();
         assert!(matches!(err, RestoreError::MissingBase { sandbox: 1 }));
+    }
+
+    #[test]
+    fn missing_base_accounts_no_phantom_reads() {
+        // A failed base resolve must leave the fabric untouched on both
+        // read paths: no reads, no bytes, as if the op never started.
+        for read_path in [
+            RestoreReadConfig::default(),
+            RestoreReadConfig::coalescing(),
+        ] {
+            let (mut cfg, mut fabric, table, _base, _target) = pipeline();
+            cfg.read_path = read_path;
+            let before = fabric.stats();
+            let err =
+                restore_op(&cfg, &mut fabric, NodeId(1), &table, &|_| None, None).unwrap_err();
+            assert!(matches!(err, RestoreError::MissingBase { sandbox: 1 }));
+            let after = fabric.stats();
+            assert_eq!(after.rdma_reads, before.rdma_reads);
+            assert_eq!(after.rdma_bytes, before.rdma_bytes);
+        }
+    }
+
+    #[test]
+    fn legacy_m_r_is_pinned_to_patched_pages() {
+        // Satellite: `m_R` counts transient read bytes (patched pages),
+        // while the CRIU restore pass is fed the full image (`m_W`).
+        let (cfg, mut fabric, table, base, target) = pipeline();
+        let base_arc = Arc::clone(&base);
+        let out = restore_op(
+            &cfg,
+            &mut fabric,
+            NodeId(1),
+            &table,
+            &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&base_arc), FnId(0))),
+            Some(&target),
+        )
+        .unwrap();
+        assert_eq!(out.read_paper_bytes, table.read_paper_bytes(cfg.mem_scale));
+        assert_eq!(out.cache_hits, 0);
+        assert_eq!(out.cache_misses, 0);
+        let ckpt = cfg.ckpt.restore_time(
+            table.full_paper_bytes(cfg.mem_scale),
+            &medes_ckpt::ProcessSpec::default(),
+            &medes_ckpt::RestoreOptions::MEDES,
+        );
+        assert_eq!(out.timing.ckpt_restore, ckpt.total());
+    }
+
+    #[test]
+    fn coalescing_reads_each_distinct_base_page_once() {
+        let (mut cfg, mut fabric, table, base, target) = duplicate_pipeline();
+        let distinct = table.distinct_base_pages().len();
+
+        // Legacy: one read per patched page.
+        let before = fabric.stats().rdma_reads;
+        let base_arc = Arc::clone(&base);
+        let legacy = restore_op(
+            &cfg,
+            &mut fabric,
+            NodeId(1),
+            &table,
+            &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&base_arc), FnId(0))),
+            Some(&target),
+        )
+        .unwrap();
+        let legacy_reads = fabric.stats().rdma_reads - before;
+        assert_eq!(legacy_reads as usize, table.patched_pages());
+
+        // Coalesced: one read per distinct base page, lower latency.
+        cfg.read_path = RestoreReadConfig::coalescing();
+        let base_arc = Arc::clone(&base);
+        let out = restore_op(
+            &cfg,
+            &mut fabric,
+            NodeId(1),
+            &table,
+            &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&base_arc), FnId(0))),
+            Some(&target),
+        )
+        .unwrap();
+        assert_eq!(
+            (fabric.stats().rdma_reads - before - legacy_reads) as usize,
+            distinct
+        );
+        assert_eq!(
+            out.read_paper_bytes,
+            table.coalesced_read_paper_bytes(cfg.mem_scale)
+        );
+        assert!(out.read_paper_bytes < legacy.read_paper_bytes);
+        assert!(
+            out.timing.base_read < legacy.timing.base_read,
+            "fewer reads must be faster"
+        );
+        // Same number of patches applied, same checkpoint feed.
+        assert_eq!(out.timing.page_compute, legacy.timing.page_compute);
+        assert_eq!(out.timing.ckpt_restore, legacy.timing.ckpt_restore);
+        assert_eq!(out.cache_misses as usize, distinct);
+    }
+
+    #[test]
+    fn cache_serves_repeat_restore_without_fabric_reads() {
+        let (mut cfg, mut fabric, table, base, target) = pipeline();
+        cfg.read_path = RestoreReadConfig::cached(64 << 20);
+        let mut cache =
+            crate::pagecache::BasePageCache::new(cfg.read_path.page_cache_bytes, cfg.mem_scale);
+
+        let resolver = {
+            let base_arc = Arc::clone(&base);
+            move |id: SandboxId| (id == SandboxId(1)).then(|| (Arc::clone(&base_arc), FnId(0)))
+        };
+        let cold = restore_op_cached(
+            &cfg,
+            &mut fabric,
+            NodeId(1),
+            &table,
+            &resolver,
+            Some(&mut cache),
+            Some(&target),
+        )
+        .unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cold.cache_misses > 0);
+        let after_first = fabric.stats();
+
+        let warm = restore_op_cached(
+            &cfg,
+            &mut fabric,
+            NodeId(1),
+            &table,
+            &resolver,
+            Some(&mut cache),
+            Some(&target),
+        )
+        .unwrap();
+        assert_eq!(warm.cache_misses, 0, "every page must hit the cache");
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        assert_eq!(
+            fabric.stats().rdma_bytes,
+            after_first.rdma_bytes,
+            "a fully cached restore must not touch the fabric"
+        );
+        assert!(
+            warm.timing.base_read < cold.timing.base_read,
+            "local-memory hits must beat the wire"
+        );
+        // `m_R` (transient reconstruction bytes) is unchanged by hits.
+        assert_eq!(warm.read_paper_bytes, cold.read_paper_bytes);
+    }
+
+    #[test]
+    fn stale_cache_entry_surfaces_as_corruption() {
+        // Poison the cache with wrong bytes for every distinct base
+        // page: verification must use the cached bytes and fail.
+        let (mut cfg, mut fabric, table, base, target) = pipeline();
+        cfg.read_path = RestoreReadConfig::cached(64 << 20);
+        let mut cache =
+            crate::pagecache::BasePageCache::new(cfg.read_path.page_cache_bytes, cfg.mem_scale);
+        for (sb, _, page) in table.distinct_base_pages() {
+            cache.insert(sb, page, &vec![0xEE; PAGE_SIZE]);
+        }
+        let base_arc = Arc::clone(&base);
+        let err = restore_op_cached(
+            &cfg,
+            &mut fabric,
+            NodeId(1),
+            &table,
+            &move |id| (id == SandboxId(1)).then(|| (Arc::clone(&base_arc), FnId(0))),
+            Some(&mut cache),
+            Some(&target),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RestoreError::Corrupt { .. }));
     }
 
     #[test]

@@ -88,6 +88,48 @@ impl DedupPageTable {
             + self.patch_bytes
             + self.entries.len() * PER_PAGE_METADATA
     }
+
+    /// Paper-scale size of the fully reconstructed image — what the
+    /// CRIU-style memory-restore pass writes back (the `m_W` term of
+    /// the §5 policy model).
+    pub fn full_paper_bytes(&self, mem_scale: usize) -> usize {
+        self.entries.len() * medes_mem::PAGE_SIZE * mem_scale
+    }
+
+    /// Paper-scale bytes transiently fetched when every patched page
+    /// issues its own base-page read — the uncoalesced `m_R` term of
+    /// the §5 policy model.
+    pub fn read_paper_bytes(&self, mem_scale: usize) -> usize {
+        self.patched_pages() * medes_mem::PAGE_SIZE * mem_scale
+    }
+
+    /// The coalesced read set: distinct `(base sandbox, base node,
+    /// base page)` triples referenced by patched entries, in
+    /// first-appearance order (deterministic).
+    pub fn distinct_base_pages(&self) -> Vec<(SandboxId, NodeId, u32)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for entry in &self.entries {
+            if let PageEntry::Patched {
+                base_sandbox,
+                base_node,
+                base_page,
+                ..
+            } = entry
+            {
+                if seen.insert((*base_sandbox, *base_page)) {
+                    out.push((*base_sandbox, *base_node, *base_page));
+                }
+            }
+        }
+        out
+    }
+
+    /// Paper-scale bytes fetched under read coalescing — `m_R` with
+    /// the coalesced read path: each distinct base page transfers once.
+    pub fn coalesced_read_paper_bytes(&self, mem_scale: usize) -> usize {
+        self.distinct_base_pages().len() * medes_mem::PAGE_SIZE * mem_scale
+    }
 }
 
 /// One sandbox.
@@ -244,6 +286,43 @@ mod tests {
         let resident = table.resident_model_bytes();
         assert!(resident > 4096, "verbatim page dominates");
         assert!(resident < 2 * 4096, "must be far below full size");
+    }
+
+    #[test]
+    fn read_set_helpers_pin_m_r_accounting() {
+        let patch = Patch {
+            base_len: 4096,
+            target_len: 4096,
+            instrs: vec![],
+        };
+        let patched = |sb: u64, node: usize, page: u32| PageEntry::Patched {
+            base_sandbox: SandboxId(sb),
+            base_node: NodeId(node),
+            base_page: page,
+            patch: patch.clone(),
+        };
+        // Three patched entries but only two distinct base pages; the
+        // duplicate references base page (7, 3) twice.
+        let table = DedupPageTable {
+            entries: vec![
+                PageEntry::Verbatim,
+                patched(7, 2, 3),
+                patched(9, 0, 1),
+                patched(7, 2, 3),
+            ],
+            patch_bytes: 3 * patch.serialized_size(),
+            verbatim_pages: 1,
+        };
+        let scale = 16;
+        let page = medes_mem::PAGE_SIZE;
+        assert_eq!(table.full_paper_bytes(scale), 4 * page * scale);
+        assert_eq!(table.read_paper_bytes(scale), 3 * page * scale);
+        assert_eq!(table.coalesced_read_paper_bytes(scale), 2 * page * scale);
+        // First-appearance order is preserved.
+        assert_eq!(
+            table.distinct_base_pages(),
+            vec![(SandboxId(7), NodeId(2), 3), (SandboxId(9), NodeId(0), 1)]
+        );
     }
 
     #[test]
