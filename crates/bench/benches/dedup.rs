@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 fn bench_registry_lookup(c: &mut Criterion) {
     let cfg = FingerprintConfig::default();
-    let mut reg = FingerprintRegistry::new();
+    let reg = FingerprintRegistry::new();
     let mut rng = medes_sim::DetRng::new(7);
     let mut pages = Vec::new();
     for i in 0..2000u64 {
@@ -60,22 +60,22 @@ fn pipeline_setup() -> Setup {
         AslrConfig::DISABLED,
         cfg.mem_scale,
     );
-    let mut registry = FingerprintRegistry::new();
+    let registry = FingerprintRegistry::new();
     let fabric = Fabric::new(cfg.nodes, cfg.net.clone());
     let base = factory.pin(FnId(0), 1);
-    index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+    index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
     let target = factory.image(FnId(0), 2);
     (cfg, registry, fabric, base, target)
 }
 
 fn bench_dedup_op(c: &mut Criterion) {
-    let (cfg, mut registry, mut fabric, base, target) = pipeline_setup();
+    let (cfg, registry, mut fabric, base, target) = pipeline_setup();
     let base2 = Arc::clone(&base);
     c.bench_function("dedup_op_vanilla_sandbox", |b| {
         b.iter(|| {
             dedup_op(
                 &cfg,
-                &mut registry,
+                &registry,
                 &mut fabric,
                 NodeId(1),
                 FnId(0),
@@ -88,11 +88,11 @@ fn bench_dedup_op(c: &mut Criterion) {
 }
 
 fn bench_restore_op(c: &mut Criterion) {
-    let (cfg, mut registry, mut fabric, base, target) = pipeline_setup();
+    let (cfg, registry, mut fabric, base, target) = pipeline_setup();
     let base2 = Arc::clone(&base);
     let outcome = dedup_op(
         &cfg,
-        &mut registry,
+        &registry,
         &mut fabric,
         NodeId(1),
         FnId(0),

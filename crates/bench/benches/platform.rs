@@ -34,7 +34,7 @@ fn bench_platform(c: &mut Criterion) {
         cfg.verify_restores = false;
         cfg.policy = policy;
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| Platform::new(cfg.clone(), suite.clone()).run(&trace));
+            b.iter(|| Platform::new(cfg.clone(), suite.clone()).run(&trace).report);
         });
     }
     g.finish();

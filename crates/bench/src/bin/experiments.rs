@@ -20,6 +20,13 @@
 //! per-node base-page cache of the given capacity in every cluster
 //! run. The `cache` experiment sweeps capacities on its own and
 //! ignores this flag.
+//!
+//! `--shards <n> --workers <n>` enable the sharded registry and the
+//! batch-parallel dedup pipeline in every cluster run. The `pipeline`
+//! experiment sweeps both on its own and ignores these flags. All
+//! flag combinations are validated through `PlatformConfig::builder`,
+//! so nonsense (zero shards, cache larger than node memory) is
+//! rejected up front instead of mutating config fields ad hoc.
 
 use medes_bench::common::{ExpConfig, FaultSpec};
 use medes_bench::{experiments, summarize};
@@ -28,7 +35,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\nids: {}",
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\nids: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -102,6 +109,20 @@ fn main() {
                 };
                 cfg.cache = Some(mib);
             }
+            "--shards" => {
+                let Some(n) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    usage();
+                };
+                let (_, workers) = cfg.pipeline.unwrap_or((1, 1));
+                cfg.pipeline = Some((n, workers));
+            }
+            "--workers" => {
+                let Some(n) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    usage();
+                };
+                let (shards, _) = cfg.pipeline.unwrap_or((1, 1));
+                cfg.pipeline = Some((shards, n));
+            }
             "list" => {
                 for id in experiments::ALL {
                     println!("{id}");
@@ -114,6 +135,13 @@ fn main() {
     }
     if ids.is_empty() {
         usage();
+    }
+    // Validate the flag combination once, up front, through the
+    // config builder: a bad mix fails with a clear message instead of
+    // panicking deep inside an experiment.
+    if let Err(e) = cfg.try_platform() {
+        eprintln!("invalid flag combination: {e}");
+        std::process::exit(2);
     }
     // fig11 is produced by the fig10 run; drop the duplicate when both
     // were requested via `all`.

@@ -1,8 +1,8 @@
 //! Shared experiment setup: standard workloads and configurations.
 
-use medes_core::config::{PlatformConfig, PolicyKind, RestoreReadConfig};
+use medes_core::config::{ConfigError, PlatformConfig, PolicyKind, RestoreReadConfig};
 use medes_core::metrics::RunReport;
-use medes_core::platform::Platform;
+use medes_core::platform::{Platform, RunOutcome};
 use medes_policy::medes::Objective;
 use medes_policy::MedesPolicyConfig;
 use medes_sim::fault::FaultPlan;
@@ -61,6 +61,11 @@ pub struct ExpConfig {
     /// every platform built by [`ExpConfig::platform`]. `None` keeps
     /// the legacy read path (and byte-identical outputs).
     pub cache: Option<usize>,
+    /// Optional dedup pipeline `(shards, workers)` (`--shards` /
+    /// `--workers`): shards the fingerprint registry and batches dedup
+    /// scans across a worker pool. `None` keeps the legacy serial path
+    /// (and byte-identical outputs).
+    pub pipeline: Option<(usize, usize)>,
 }
 
 impl ExpConfig {
@@ -72,6 +77,7 @@ impl ExpConfig {
             obs: false,
             faults: None,
             cache: None,
+            pipeline: None,
         }
     }
 
@@ -179,28 +185,40 @@ impl ExpConfig {
     /// is *oversubscribed* by the standard trace, exactly as the paper
     /// does with its 2 GB/node software limit (§7.2).
     pub fn platform(&self) -> PlatformConfig {
-        let mut cfg = PlatformConfig::paper_default();
-        cfg.mem_scale = self.mem_scale();
-        cfg.node_mem_bytes = 192 << 20;
-        cfg.nodes = 12; // 12 x 192 MiB: demand-saturated, like the paper's 2 GB limit
-        if self.quick {
-            cfg.nodes = 6;
-        }
+        self.try_platform()
+            .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"))
+    }
+
+    /// Builds the standard platform configuration through the
+    /// validating [`PlatformConfig::builder`], so harness flags cannot
+    /// smuggle in nonsense (zero shards, cache larger than node
+    /// memory): bad combinations surface here as a [`ConfigError`]
+    /// before any run starts.
+    pub fn try_platform(&self) -> Result<PlatformConfig, ConfigError> {
+        // 12 x 192 MiB: demand-saturated, like the paper's 2 GB limit.
+        let nodes = if self.quick { 6 } else { 12 };
+        let mut b = PlatformConfig::builder()
+            .mem_scale(self.mem_scale())
+            .node_mem_bytes(192 << 20)
+            .nodes(nodes);
         if self.obs {
-            cfg.obs = medes_obs::ObsConfig::enabled().export_to(self.results_dir.clone());
+            b = b.obs(medes_obs::ObsConfig::enabled().export_to(self.results_dir.clone()));
         }
         if let Some(spec) = &self.faults {
-            cfg.faults = FaultPlan::synthesize(
+            b = b.faults(FaultPlan::synthesize(
                 spec.seed,
-                cfg.nodes,
+                nodes,
                 SimTime::from_secs(self.trace_secs()),
                 spec.rate,
-            );
+            ));
         }
         if let Some(mib) = self.cache {
-            cfg.read_path = RestoreReadConfig::cached(mib << 20);
+            b = b.read_path(RestoreReadConfig::cached(mib << 20));
         }
-        cfg
+        if let Some((shards, workers)) = self.pipeline {
+            b = b.shards(shards).workers(workers);
+        }
+        b.build()
     }
 
     /// A Medes policy config with the standard knobs.
@@ -218,8 +236,15 @@ impl ExpConfig {
     }
 }
 
-/// Runs one platform configuration over a trace.
+/// Runs one platform configuration over a trace, returning the report.
 pub fn run(cfg: PlatformConfig, suite: &[FunctionProfile], trace: &Trace) -> RunReport {
+    Platform::new(cfg, suite.to_vec()).run(trace).report
+}
+
+/// Runs one platform configuration over a trace, returning the full
+/// [`RunOutcome`] (report + observability handle). Experiments that
+/// read counters — e.g. the `pipeline` wall-time gate — use this.
+pub fn run_outcome(cfg: PlatformConfig, suite: &[FunctionProfile], trace: &Trace) -> RunOutcome {
     Platform::new(cfg, suite.to_vec()).run(trace)
 }
 

@@ -35,18 +35,18 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let mut json = Vec::new();
 
     for (i, p) in suite.iter().enumerate() {
-        let mut registry = FingerprintRegistry::new();
+        let registry = FingerprintRegistry::new();
         let mut fabric = Fabric::new(pcfg.nodes, pcfg.net.clone());
         let base = factory.pin(FnId(i), 1000 + i as u64);
         let base_id = SandboxId(i as u64);
-        index_base_sandbox(&pcfg, &mut registry, NodeId(0), base_id, &base);
+        index_base_sandbox(&pcfg, &registry, NodeId(0), base_id, &base);
         let target = factory.image(FnId(i), 2000 + i as u64);
         let base_arc = Arc::clone(&base);
         let resolver =
             move |id: SandboxId| (id == base_id).then(|| (Arc::clone(&base_arc), FnId(i)));
         let outcome = dedup_op(
             &pcfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(1),
             FnId(i),

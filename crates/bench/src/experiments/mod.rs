@@ -15,6 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod overheads;
+pub mod pipeline;
 pub mod table2;
 pub mod table3;
 
@@ -42,6 +43,7 @@ pub const ALL: &[&str] = &[
     "overheads",
     "chaos",
     "cache",
+    "pipeline",
 ];
 
 /// Dispatches one experiment by id.
@@ -65,6 +67,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "overheads" => overheads::run(cfg),
         "chaos" => chaos::run(cfg),
         "cache" => cache::run(cfg),
+        "pipeline" => pipeline::run(cfg),
         _ => return None,
     };
     Some(report)

@@ -47,12 +47,12 @@ pub fn run(cfg: &ExpConfig) -> Report {
     // A cluster-like base pool: one base sandbox per function, all
     // indexed — so cross-function RSCs are available exactly as on a
     // running platform.
-    let mut registry = FingerprintRegistry::new();
+    let registry = FingerprintRegistry::new();
     let mut bases: HashMap<SandboxId, (FnId, Arc<MemoryImage>)> = HashMap::new();
     for (i, _) in suite.iter().enumerate() {
         let img = factory.pin(FnId(i), 5000 + i as u64);
         let id = SandboxId(i as u64);
-        index_base_sandbox(&pcfg, &mut registry, NodeId(i % pcfg.nodes), id, &img);
+        index_base_sandbox(&pcfg, &registry, NodeId(i % pcfg.nodes), id, &img);
         bases.insert(id, (FnId(i), img));
     }
     let resolver = |id: SandboxId| bases.get(&id).map(|(f, img)| (Arc::clone(img), *f));
@@ -64,7 +64,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let target = factory.image(FnId(i), 9000 + i as u64);
         let outcome = dedup_op(
             &pcfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(0),
             FnId(i),

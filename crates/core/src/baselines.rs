@@ -31,18 +31,22 @@ pub fn run_comparison(
         cfg.clone()
             .with_policy(PolicyKind::Medes(Default::default()))
     };
-    let medes = Platform::new(medes_cfg, profiles.to_vec()).run(trace);
+    let medes = Platform::new(medes_cfg, profiles.to_vec())
+        .run(trace)
+        .report;
     let fixed = Platform::new(
         cfg.clone()
             .with_policy(PolicyKind::FixedKeepAlive(fixed_window)),
         profiles.to_vec(),
     )
-    .run(trace);
+    .run(trace)
+    .report;
     let adaptive = Platform::new(
         cfg.clone().with_policy(PolicyKind::AdaptiveKeepAlive),
         profiles.to_vec(),
     )
-    .run(trace);
+    .run(trace)
+    .report;
     Comparison {
         medes,
         fixed,
@@ -65,7 +69,8 @@ pub fn keep_alive_sweep(
                 cfg.clone().with_policy(PolicyKind::FixedKeepAlive(w)),
                 profiles.to_vec(),
             )
-            .run(trace);
+            .run(trace)
+            .report;
             (w, report)
         })
         .collect()
@@ -82,7 +87,7 @@ pub fn catalyzer_comparison(
         .clone()
         .with_policy(PolicyKind::FixedKeepAlive(SimDuration::from_mins(10)));
     plain.catalyzer_mode = true;
-    let without_medes = Platform::new(plain, profiles.to_vec()).run(trace);
+    let without_medes = Platform::new(plain, profiles.to_vec()).run(trace).report;
 
     let mut with = if cfg.is_medes() {
         cfg.clone()
@@ -91,7 +96,7 @@ pub fn catalyzer_comparison(
             .with_policy(PolicyKind::Medes(Default::default()))
     };
     with.catalyzer_mode = true;
-    let with_medes = Platform::new(with, profiles.to_vec()).run(trace);
+    let with_medes = Platform::new(with, profiles.to_vec()).run(trace).report;
     (without_medes, with_medes)
 }
 

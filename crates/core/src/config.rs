@@ -46,6 +46,55 @@ impl RestoreReadConfig {
     }
 }
 
+/// Dedup pipeline configuration: registry sharding plus the
+/// batch-parallel dedup worker pool. The default is the legacy serial
+/// path — one registry shard, no batching — which is pinned
+/// byte-identical to the pre-pipeline platform.
+///
+/// When `workers > 0`, sandboxes picked for dedup are queued instead of
+/// scanned inline; the queue is flushed every `flush_interval`, fanning
+/// the chunk-scan/lookup/patch-encode work across a scoped worker pool
+/// and merging outcomes in first-enqueued order (see DESIGN.md §10 for
+/// the determinism argument: `RunReport` is bit-identical at any worker
+/// count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupPipelineConfig {
+    /// Number of fingerprint-registry shards (≥ 1). Each chunk hash has
+    /// one home shard, so lookup results are shard-count-invariant.
+    pub shards: usize,
+    /// Worker threads for the batched dedup compute phase; 0 disables
+    /// the pipeline entirely (legacy inline serial dedup).
+    pub workers: usize,
+    /// How long pending dedups accumulate before a batch flush.
+    pub flush_interval: SimDuration,
+}
+
+impl Default for DedupPipelineConfig {
+    fn default() -> Self {
+        DedupPipelineConfig {
+            shards: 1,
+            workers: 0,
+            flush_interval: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl DedupPipelineConfig {
+    /// True when the batched pipeline replaces the inline serial path.
+    pub fn enabled(&self) -> bool {
+        self.workers > 0
+    }
+
+    /// A sharded parallel pipeline with the default flush interval.
+    pub fn parallel(shards: usize, workers: usize) -> Self {
+        DedupPipelineConfig {
+            shards,
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
 /// Which sandbox-management policy the platform runs.
 #[derive(Debug, Clone)]
 pub enum PolicyKind {
@@ -117,9 +166,207 @@ pub struct PlatformConfig {
     /// Disabled by default: restores then issue one read per patched
     /// page exactly as before.
     pub read_path: RestoreReadConfig,
+    /// Registry sharding + batch-parallel dedup pipeline. Defaults to
+    /// the legacy serial path (one shard, zero workers), which is
+    /// byte-identical to the pre-pipeline platform.
+    pub pipeline: DedupPipelineConfig,
+}
+
+/// A rejected [`PlatformConfigBuilder`] configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The cluster needs at least one worker node.
+    ZeroNodes,
+    /// Per-node memory must be non-zero.
+    ZeroNodeMem,
+    /// The memory-image scale denominator must be at least 1.
+    ZeroMemScale,
+    /// The fingerprint registry needs at least one shard.
+    ZeroShards,
+    /// `patch_max_frac` must lie in (0, 1].
+    InvalidPatchFrac(f64),
+    /// The per-node base-page cache cannot exceed node memory.
+    CacheExceedsNodeMem {
+        /// Requested paper-scale cache capacity, bytes.
+        cache_bytes: usize,
+        /// Configured per-node memory limit, bytes.
+        node_mem_bytes: usize,
+    },
+    /// A non-zero worker pool needs a positive flush interval.
+    ZeroFlushInterval,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroNodes => write!(f, "cluster needs at least one worker node"),
+            ConfigError::ZeroNodeMem => write!(f, "per-node memory limit must be non-zero"),
+            ConfigError::ZeroMemScale => write!(f, "memory scale denominator must be >= 1"),
+            ConfigError::ZeroShards => {
+                write!(f, "fingerprint registry needs at least one shard")
+            }
+            ConfigError::InvalidPatchFrac(v) => {
+                write!(f, "patch_max_frac must lie in (0, 1], got {v}")
+            }
+            ConfigError::CacheExceedsNodeMem {
+                cache_bytes,
+                node_mem_bytes,
+            } => write!(
+                f,
+                "page cache of {cache_bytes} B cannot exceed node memory of {node_mem_bytes} B"
+            ),
+            ConfigError::ZeroFlushInterval => {
+                write!(f, "dedup pipeline needs a positive flush interval")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`PlatformConfig`]: the supported way for
+/// harness flags (`--cache`, `--faults`, `--shards`, `--workers`) to
+/// assemble a configuration instead of mutating public fields ad hoc.
+/// [`PlatformConfigBuilder::build`] rejects nonsense — zero shards, a
+/// cache larger than node memory — before a run starts.
+#[derive(Debug, Clone)]
+pub struct PlatformConfigBuilder {
+    cfg: PlatformConfig,
+}
+
+impl PlatformConfigBuilder {
+    /// Number of worker nodes.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.cfg.nodes = nodes;
+        self
+    }
+
+    /// Paper-scale memory limit per node, bytes.
+    pub fn node_mem_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.node_mem_bytes = bytes;
+        self
+    }
+
+    /// Memory-image scale denominator.
+    pub fn mem_scale(mut self, scale: usize) -> Self {
+        self.cfg.mem_scale = scale;
+        self
+    }
+
+    /// The sandbox-management policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Structured tracing/metrics configuration.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Fault-injection plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Restore read-path features (coalescing + base-page cache).
+    pub fn read_path(mut self, read_path: RestoreReadConfig) -> Self {
+        self.cfg.read_path = read_path;
+        self
+    }
+
+    /// Registry sharding + batch-parallel dedup pipeline.
+    pub fn pipeline(mut self, pipeline: DedupPipelineConfig) -> Self {
+        self.cfg.pipeline = pipeline;
+        self
+    }
+
+    /// Registry shard count (leaves the rest of the pipeline config).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.pipeline.shards = shards;
+        self
+    }
+
+    /// Dedup worker-pool size; 0 keeps the legacy serial path.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.pipeline.workers = workers;
+        self
+    }
+
+    /// Emulated-Catalyzer mode (§7.6).
+    pub fn catalyzer_mode(mut self, on: bool) -> Self {
+        self.cfg.catalyzer_mode = on;
+        self
+    }
+
+    /// Verify every restore byte-for-byte (slow; tests).
+    pub fn verify_restores(mut self, on: bool) -> Self {
+        self.cfg.verify_restores = on;
+        self
+    }
+
+    /// Applies an arbitrary edit to the underlying configuration, for
+    /// the long tail of fields without dedicated setters. Validation
+    /// still runs at [`PlatformConfigBuilder::build`].
+    pub fn tweak(mut self, f: impl FnOnce(&mut PlatformConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<PlatformConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
+        }
+        if c.node_mem_bytes == 0 {
+            return Err(ConfigError::ZeroNodeMem);
+        }
+        if c.mem_scale == 0 {
+            return Err(ConfigError::ZeroMemScale);
+        }
+        if c.pipeline.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if !(c.patch_max_frac > 0.0 && c.patch_max_frac <= 1.0) {
+            return Err(ConfigError::InvalidPatchFrac(c.patch_max_frac));
+        }
+        if c.read_path.page_cache_bytes > c.node_mem_bytes {
+            return Err(ConfigError::CacheExceedsNodeMem {
+                cache_bytes: c.read_path.page_cache_bytes,
+                node_mem_bytes: c.node_mem_bytes,
+            });
+        }
+        if c.pipeline.enabled() && c.pipeline.flush_interval == SimDuration::ZERO {
+            return Err(ConfigError::ZeroFlushInterval);
+        }
+        Ok(self.cfg)
+    }
 }
 
 impl PlatformConfig {
+    /// Starts a validating builder from [`PlatformConfig::paper_default`].
+    pub fn builder() -> PlatformConfigBuilder {
+        PlatformConfigBuilder {
+            cfg: Self::paper_default(),
+        }
+    }
+
+    /// Starts a validating builder from [`PlatformConfig::small_test`].
+    pub fn test_builder() -> PlatformConfigBuilder {
+        PlatformConfigBuilder {
+            cfg: Self::small_test(),
+        }
+    }
+
     /// The evaluation-testbed configuration (§7.1): 19 workers with a
     /// 2 GB software memory limit each, Medes policy P1 (α = 2.5).
     pub fn paper_default() -> Self {
@@ -147,6 +394,7 @@ impl PlatformConfig {
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
             read_path: RestoreReadConfig::default(),
+            pipeline: DedupPipelineConfig::default(),
         }
     }
 
@@ -217,5 +465,74 @@ mod tests {
         let c = PlatformConfig::paper_default()
             .with_policy(PolicyKind::FixedKeepAlive(SimDuration::from_mins(10)));
         assert!(!c.is_medes());
+    }
+
+    #[test]
+    fn pipeline_defaults_to_legacy_serial() {
+        let c = PlatformConfig::paper_default();
+        assert!(!c.pipeline.enabled(), "pipeline must default off");
+        assert_eq!(c.pipeline.shards, 1);
+        assert!(DedupPipelineConfig::parallel(4, 2).enabled());
+    }
+
+    #[test]
+    fn builder_accepts_valid_configs() {
+        let c = PlatformConfig::builder()
+            .nodes(8)
+            .shards(16)
+            .workers(4)
+            .seed(7)
+            .build()
+            .expect("valid config");
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.pipeline.shards, 16);
+        assert_eq!(c.pipeline.workers, 4);
+        assert_eq!(c.seed, 7);
+        // The builder starts from paper_default; untouched fields keep it.
+        assert_eq!(c.node_mem_bytes, 2 << 30);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        assert_eq!(
+            PlatformConfig::builder().nodes(0).build().unwrap_err(),
+            ConfigError::ZeroNodes
+        );
+        assert_eq!(
+            PlatformConfig::builder().shards(0).build().unwrap_err(),
+            ConfigError::ZeroShards
+        );
+        assert_eq!(
+            PlatformConfig::builder().mem_scale(0).build().unwrap_err(),
+            ConfigError::ZeroMemScale
+        );
+        assert_eq!(
+            PlatformConfig::builder()
+                .node_mem_bytes(1 << 20)
+                .read_path(RestoreReadConfig::cached(1 << 30))
+                .build()
+                .unwrap_err(),
+            ConfigError::CacheExceedsNodeMem {
+                cache_bytes: 1 << 30,
+                node_mem_bytes: 1 << 20,
+            }
+        );
+        assert_eq!(
+            PlatformConfig::builder()
+                .workers(2)
+                .tweak(|c| c.pipeline.flush_interval = SimDuration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroFlushInterval
+        );
+        assert_eq!(
+            PlatformConfig::builder()
+                .tweak(|c| c.patch_max_frac = 0.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidPatchFrac(0.0)
+        );
+        // Errors render as actionable messages.
+        assert!(ConfigError::ZeroShards.to_string().contains("shard"));
     }
 }

@@ -102,27 +102,54 @@ impl DedupOutcome {
 /// Resolves a base sandbox id to its (pinned) image and owning function.
 pub type BaseResolver<'a> = dyn Fn(SandboxId) -> Option<(Arc<MemoryImage>, FnId)> + 'a;
 
-/// Runs the dedup op for one sandbox image.
+/// The pure compute phase of a dedup op: everything up to (but not
+/// including) the fabric accounting. Produced by [`dedup_scan`],
+/// consumed by [`dedup_commit`].
 ///
-/// `node` is the node hosting the sandbox; `func` its function. The
-/// caller guarantees every candidate the registry returns resolves via
-/// `bases` (the platform pins base images while referenced).
+/// Holding no fabric or registry borrows, scans for different sandboxes
+/// are independent — the parallel dedup pipeline computes them on a
+/// worker pool, then commits each serially in first-enqueued order so
+/// the fault-injection RNG stream (consumed per fabric op) is walked
+/// identically at any worker count.
+#[derive(Debug)]
+pub struct DedupScan {
+    /// The residual representation assembled by the scan.
+    pub table: DedupPageTable,
+    /// Pages deduplicated against a base page of the *same* function.
+    pub same_fn_pages: usize,
+    /// Pages deduplicated against a *different* function's base page.
+    pub cross_fn_pages: usize,
+    /// Distinct base sandboxes referenced, in first-seen order.
+    pub referenced_bases: Vec<SandboxId>,
+    /// Base-page reads to account on the fabric: (source node index,
+    /// paper-scale bytes), in page order.
+    pub remote_reads: Vec<(usize, usize)>,
+    /// Pages that ended up patched (for patch-compute timing).
+    pub patched_pages: usize,
+    /// Model-scale image size in bytes (for checkpoint timing).
+    pub image_model_bytes: usize,
+    /// Model-scale page count (for lookup timing).
+    pub image_pages: usize,
+}
+
+/// Runs the compute phase of the dedup op: per-page fingerprints, a
+/// registry [`lookup_batch`](FingerprintRegistry::lookup_batch)
+/// (grouped by shard), base-page election, and patch encoding.
 ///
-/// Fails only under fault injection, when the controller fingerprint
-/// RPC or the base-page reads stay broken past the retry policy; the
-/// caller then aborts the dedup and keeps the sandbox warm.
-pub fn dedup_op(
+/// Takes the registry by `&self` and touches no fabric state, so any
+/// number of scans may run concurrently on worker threads against the
+/// same registry.
+pub fn dedup_scan<F>(
     cfg: &PlatformConfig,
-    registry: &mut FingerprintRegistry,
-    fabric: &mut Fabric,
+    registry: &FingerprintRegistry,
     node: NodeId,
     func: FnId,
     image: &MemoryImage,
-    bases: &BaseResolver<'_>,
-) -> Result<DedupOutcome, NetError> {
-    let scale = cfg.mem_scale as f64;
-    let paper_pages = image.page_count() as f64 * scale;
-
+    bases: &F,
+) -> DedupScan
+where
+    F: Fn(SandboxId) -> Option<(Arc<MemoryImage>, FnId)> + ?Sized,
+{
     let mut entries = Vec::with_capacity(image.page_count());
     let mut patch_bytes = 0usize;
     let mut verbatim_pages = 0usize;
@@ -141,12 +168,28 @@ pub fn dedup_op(
     let encode_cfg = EncodeConfig::with_level(cfg.delta_level);
     let max_patch = (cfg.patch_max_frac * PAGE_SIZE as f64) as usize;
 
+    // Fingerprint every page, then probe the registry in one batch so
+    // each shard's read lock is taken once per op rather than once per
+    // page. Empty fingerprints (rare) skip the registry exactly as the
+    // per-page path did.
+    let mut fps = Vec::with_capacity(image.page_count());
+    let mut probe_fps = Vec::new();
     for (_, page) in image.pages() {
         let fp = page_fingerprint(page, &cfg.fingerprint);
+        if !fp.is_empty() {
+            probe_fps.push(fp.clone());
+        }
+        fps.push(fp);
+    }
+    let candidate_lists = registry.lookup_batch(&probe_fps);
+    let mut probe_cursor = 0usize;
+
+    for ((_, page), fp) in image.pages().zip(&fps) {
         let entry = if fp.is_empty() {
             None
         } else {
-            let candidates = registry.lookup(&fp);
+            let candidates = &candidate_lists[probe_cursor];
+            probe_cursor += 1;
             // Election: max votes, then prefer a local base page.
             let best = candidates.iter().max_by_key(|c| {
                 (
@@ -199,39 +242,88 @@ pub fn dedup_op(
         }
     }
 
-    let lookup_extra = fabric.controller_rpc_check(node.0, &cfg.retry)?;
-    let base_read = fabric
-        .rdma_read_batch_retry(node.0, &remote_reads, &cfg.retry)?
-        .time;
-    let timing = DedupTiming {
-        checkpoint: cfg
-            .ckpt
-            .checkpoint_time(cfg.to_paper_bytes(image.total_bytes())),
-        lookup: cfg.lookup_per_page.mul_f64(paper_pages) + lookup_extra,
-        base_read,
-        patch_compute: cfg
-            .patch_compute_per_page
-            .mul_f64(patched_pages as f64 * scale),
-    };
-
-    Ok(DedupOutcome {
+    DedupScan {
         table: DedupPageTable {
             entries,
             patch_bytes,
             verbatim_pages,
         },
-        timing,
         same_fn_pages,
         cross_fn_pages,
         referenced_bases: referenced,
+        remote_reads,
+        patched_pages,
+        image_model_bytes: image.total_bytes(),
+        image_pages: image.page_count(),
+    }
+}
+
+/// The serial commit phase of a dedup op: accounts the controller RPC
+/// and base-page reads on the fabric (the only fault-injectable,
+/// RNG-consuming steps) and assembles the final [`DedupOutcome`].
+///
+/// Fails only under fault injection, when the controller fingerprint
+/// RPC or the base-page reads stay broken past the retry policy; the
+/// caller then aborts the dedup and keeps the sandbox warm.
+pub fn dedup_commit(
+    cfg: &PlatformConfig,
+    fabric: &mut Fabric,
+    node: NodeId,
+    scan: DedupScan,
+) -> Result<DedupOutcome, NetError> {
+    let scale = cfg.mem_scale as f64;
+    let paper_pages = scan.image_pages as f64 * scale;
+    let lookup_extra = fabric.controller_rpc_check(node.0, &cfg.retry)?;
+    let base_read = fabric
+        .rdma_read_batch_retry(node.0, &scan.remote_reads, &cfg.retry)?
+        .time;
+    let timing = DedupTiming {
+        checkpoint: cfg
+            .ckpt
+            .checkpoint_time(cfg.to_paper_bytes(scan.image_model_bytes)),
+        lookup: cfg.lookup_per_page.mul_f64(paper_pages) + lookup_extra,
+        base_read,
+        patch_compute: cfg
+            .patch_compute_per_page
+            .mul_f64(scan.patched_pages as f64 * scale),
+    };
+
+    Ok(DedupOutcome {
+        table: scan.table,
+        timing,
+        same_fn_pages: scan.same_fn_pages,
+        cross_fn_pages: scan.cross_fn_pages,
+        referenced_bases: scan.referenced_bases,
     })
+}
+
+/// Runs the dedup op for one sandbox image: [`dedup_scan`] followed by
+/// [`dedup_commit`].
+///
+/// `node` is the node hosting the sandbox; `func` its function. The
+/// caller guarantees every candidate the registry returns resolves via
+/// `bases` (the platform pins base images while referenced).
+pub fn dedup_op<F>(
+    cfg: &PlatformConfig,
+    registry: &FingerprintRegistry,
+    fabric: &mut Fabric,
+    node: NodeId,
+    func: FnId,
+    image: &MemoryImage,
+    bases: &F,
+) -> Result<DedupOutcome, NetError>
+where
+    F: Fn(SandboxId) -> Option<(Arc<MemoryImage>, FnId)> + ?Sized,
+{
+    let scan = dedup_scan(cfg, registry, node, func, image, bases);
+    dedup_commit(cfg, fabric, node, scan)
 }
 
 /// Inserts every page of a base sandbox's image into the registry.
 /// Returns the number of pages indexed.
 pub fn index_base_sandbox(
     cfg: &PlatformConfig,
-    registry: &mut FingerprintRegistry,
+    registry: &FingerprintRegistry,
     node: NodeId,
     sandbox: SandboxId,
     image: &MemoryImage,
@@ -275,15 +367,15 @@ mod tests {
 
     #[test]
     fn dedup_against_same_function_base_saves_most_memory() {
-        let (cfg, mut factory, mut registry, mut fabric) = setup();
+        let (cfg, mut factory, registry, mut fabric) = setup();
         let base_img = factory.pin(FnId(0), 100);
-        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base_img);
+        index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base_img);
 
         let target = factory.image(FnId(0), 200);
         let base_arc = Arc::clone(&base_img);
         let outcome = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(1),
             FnId(0),
@@ -308,11 +400,11 @@ mod tests {
         // Two bases indexed; whatever subset the election picks, the
         // output order must equal the first appearance order in the
         // page table — the set-based membership test must not change it.
-        let (cfg, mut factory, mut registry, mut fabric) = setup();
+        let (cfg, mut factory, registry, mut fabric) = setup();
         let base0 = factory.pin(FnId(0), 100);
         let base1 = factory.pin(FnId(1), 100);
-        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base0);
-        index_base_sandbox(&cfg, &mut registry, NodeId(2), SandboxId(2), &base1);
+        index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base0);
+        index_base_sandbox(&cfg, &registry, NodeId(2), SandboxId(2), &base1);
         let target = factory.image(FnId(0), 200);
         let b0 = Arc::clone(&base0);
         let b1 = Arc::clone(&base1);
@@ -323,7 +415,7 @@ mod tests {
         };
         let outcome = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(1),
             FnId(0),
@@ -365,10 +457,10 @@ mod tests {
             }])
         };
         let mut cfg = PlatformConfig::small_test();
-        let mut registry = FingerprintRegistry::new();
+        let registry = FingerprintRegistry::new();
         let mut fabric = Fabric::new(cfg.nodes, medes_net::NetConfig::default());
         let base = Arc::new(synth(4, 0xBA5E));
-        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+        index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
         let mut data = Vec::new();
         for _ in 0..6 {
             data.extend_from_slice(base.page(2));
@@ -384,7 +476,7 @@ mod tests {
 
         let legacy = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(1),
             FnId(0),
@@ -398,7 +490,7 @@ mod tests {
         cfg.read_path = crate::config::RestoreReadConfig::coalescing();
         let coalesced = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(1),
             FnId(0),
@@ -425,11 +517,11 @@ mod tests {
 
     #[test]
     fn empty_registry_keeps_everything_verbatim() {
-        let (cfg, factory, mut registry, mut fabric) = setup();
+        let (cfg, factory, registry, mut fabric) = setup();
         let target = factory.image(FnId(0), 1);
         let outcome = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(0),
             FnId(0),
@@ -444,15 +536,15 @@ mod tests {
 
     #[test]
     fn cross_function_dedup_happens_via_shared_content() {
-        let (cfg, mut factory, mut registry, mut fabric) = setup();
+        let (cfg, mut factory, registry, mut fabric) = setup();
         // Base sandbox runs function 1; dedup a function-0 sandbox.
         let base_img = factory.pin(FnId(1), 50);
-        index_base_sandbox(&cfg, &mut registry, NodeId(2), SandboxId(7), &base_img);
+        index_base_sandbox(&cfg, &registry, NodeId(2), SandboxId(7), &base_img);
         let target = factory.image(FnId(0), 60);
         let base_arc = Arc::clone(&base_img);
         let outcome = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(0),
             FnId(0),
@@ -469,11 +561,11 @@ mod tests {
 
     #[test]
     fn timing_scales_with_image_size() {
-        let (cfg, mut factory, mut registry, mut fabric) = setup();
+        let (cfg, mut factory, registry, mut fabric) = setup();
         let base0 = factory.pin(FnId(0), 1);
         let base1 = factory.pin(FnId(1), 1);
-        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base0);
-        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(2), &base1);
+        index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base0);
+        index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(2), &base1);
         let small = factory.image(FnId(0), 2); // Vanilla 17MB
         let large = factory.image(FnId(1), 2); // LinAlg 32MB
         let b0 = Arc::clone(&base0);
@@ -485,7 +577,7 @@ mod tests {
         };
         let o_small = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(0),
             FnId(0),
@@ -495,7 +587,7 @@ mod tests {
         .expect("dedup op");
         let o_large = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(0),
             FnId(1),

@@ -35,7 +35,7 @@
 //!     &TraceGenConfig { duration_secs: 60, scale: 1.0, ..Default::default() },
 //! );
 //! let cfg = PlatformConfig::small_test();
-//! let report = Platform::new(cfg, suite).run(&trace);
+//! let report = Platform::new(cfg, suite).run(&trace).report;
 //! assert_eq!(report.requests.len(), trace.len());
 //! ```
 

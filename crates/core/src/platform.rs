@@ -22,7 +22,9 @@
 
 use crate::config::{PlatformConfig, PolicyKind};
 use crate::controller::{FunctionRuntime, QueuedRequest};
-use crate::dedup::{dedup_op, index_base_sandbox, DedupOutcome};
+use crate::dedup::{
+    dedup_commit, dedup_op, dedup_scan, index_base_sandbox, DedupOutcome, DedupScan,
+};
 use crate::ids::{FnId, NodeId, SandboxId};
 use crate::images::ImageFactory;
 use crate::metrics::{FnDedupStats, MetricsCollector, RequestRecord, RunReport, StartType};
@@ -62,28 +64,18 @@ impl Platform {
         Platform { cfg, profiles }
     }
 
-    /// Runs a trace to completion and reports metrics. When the config
-    /// has observability enabled with an export directory, the span
-    /// trace is written there as JSONL on completion.
+    /// Runs a trace to completion. Returns the metrics report together
+    /// with the observability handle (buffered spans + metrics) as one
+    /// [`RunOutcome`]. When the config has observability enabled with
+    /// an export directory, the span trace is also written there as
+    /// JSONL on completion.
     ///
     /// # Panics
     /// Panics if the trace's function table does not match the profile
     /// catalog, or if any function's footprint exceeds the per-node
     /// memory limit (such a function could never be scheduled and its
     /// requests would retry forever).
-    pub fn run(&self, trace: &Trace) -> RunReport {
-        let (report, obs) = self.run_observed(trace);
-        match obs.write_trace() {
-            Ok(Some(path)) => eprintln!("[obs] wrote {}", path.display()),
-            Ok(None) => {}
-            Err(e) => eprintln!("warning: failed to write obs trace: {e}"),
-        }
-        report
-    }
-
-    /// Like [`Platform::run`] but also returns the observability handle
-    /// (buffered spans + metrics) instead of auto-exporting it.
-    pub fn run_observed(&self, trace: &Trace) -> (RunReport, Arc<Obs>) {
+    pub fn run(&self, trace: &Trace) -> RunOutcome {
         assert_eq!(
             trace.functions.len(),
             self.profiles.len(),
@@ -123,8 +115,25 @@ impl Platform {
         let end = sim.now();
         cluster = sim.into_world();
         let obs = Arc::clone(&cluster.obs);
-        (cluster.finish(end), obs)
+        let report = cluster.finish(end);
+        match obs.write_trace() {
+            Ok(Some(path)) => eprintln!("[obs] wrote {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: failed to write obs trace: {e}"),
+        }
+        RunOutcome { report, obs }
     }
+}
+
+/// The full result of one [`Platform::run`]: the metrics report plus
+/// the observability handle for inspecting buffered spans and metrics.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The run's metrics (deterministic; `PartialEq` for replay
+    /// assertions).
+    pub report: RunReport,
+    /// The run's observability handle (spans, counters, histograms).
+    pub obs: Arc<Obs>,
 }
 
 /// A request travelling through dispatch.
@@ -171,6 +180,9 @@ enum Ev {
         epoch: u64,
         outcome: Box<DedupOutcome>,
     },
+    /// Batched dedup pipeline: drain the pending-dedup queue, fan the
+    /// scans across the worker pool, commit in first-enqueued order.
+    DedupFlush,
     PolicyTick,
     RetryQueue {
         func: usize,
@@ -216,6 +228,11 @@ struct Cluster {
     obs: Arc<Obs>,
     /// Don't re-arm periodic events past this instant.
     horizon: SimTime,
+    /// Sandboxes queued for the batched dedup pipeline: `(id, epoch at
+    /// enqueue)`, in enqueue order. Empty on the legacy serial path.
+    pending_dedups: Vec<(SandboxId, u64)>,
+    /// Whether a `DedupFlush` is already scheduled.
+    flush_armed: bool,
 }
 
 impl Cluster {
@@ -259,9 +276,11 @@ impl Cluster {
             horizon,
             factory,
             fabric,
-            registry: FingerprintRegistry::with_obs(Arc::clone(&obs)),
+            registry: FingerprintRegistry::with_shards_obs(cfg.pipeline.shards, Arc::clone(&obs)),
             obs,
             cfg,
+            pending_dedups: Vec::new(),
+            flush_armed: false,
         }
     }
 
@@ -436,7 +455,7 @@ impl Cluster {
             (sb.func, sb.instance_seed, sb.node)
         };
         let img = self.factory.pin(func, seed);
-        index_base_sandbox(&self.cfg, &mut self.registry, node, id, &img);
+        index_base_sandbox(&self.cfg, &self.registry, node, id, &img);
         self.bases.insert(id, (func, img));
         self.fns[func.0].bases.push(id);
         self.sandboxes.get_mut(&id).expect("exists").is_base = true;
@@ -845,11 +864,24 @@ impl Cluster {
             let rt = &mut self.fns[f];
             rt.idle_warm.remove(&(sb.last_used, id));
         }
+        if self.cfg.pipeline.enabled() {
+            // Batched pipeline: queue the sandbox (it is already in
+            // `Deduping`, so dispatch cannot reclaim it) and make sure a
+            // flush is scheduled. The scan runs at flush time on the
+            // worker pool; outcomes commit in this enqueue order.
+            let epoch = self.sandboxes[&id].epoch;
+            self.pending_dedups.push((id, epoch));
+            if !self.flush_armed {
+                self.flush_armed = true;
+                sched.after(self.cfg.pipeline.flush_interval, Ev::DedupFlush);
+            }
+            return;
+        }
         let image = self.factory.image(func, seed);
         let bases = &self.bases;
         let outcome = match dedup_op(
             &self.cfg,
-            &mut self.registry,
+            &self.registry,
             &mut self.fabric,
             node,
             func,
@@ -902,6 +934,157 @@ impl Cluster {
                 outcome: Box::new(outcome),
             },
         );
+    }
+
+    /// Drains the pending-dedup queue: validates entries (crash purges
+    /// and epoch bumps invalidate stale ones), fans the pure compute
+    /// phase ([`dedup_scan`]) across a `std::thread::scope` worker
+    /// pool, then commits each outcome **serially in first-enqueued
+    /// order**. The commit phase is the only part that touches the
+    /// fabric — whose fault schedule consumes RNG per operation — so
+    /// the event stream, and with it `RunReport`, is bit-identical at
+    /// any worker count (DESIGN.md §10).
+    fn dedup_flush(&mut self, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        self.flush_armed = false;
+        if self.pending_dedups.is_empty() {
+            return;
+        }
+        let Some(medes) = self.medes.clone() else {
+            return;
+        };
+        let pending = std::mem::take(&mut self.pending_dedups);
+        struct BatchItem {
+            id: SandboxId,
+            func: FnId,
+            node: NodeId,
+            image: Arc<MemoryImage>,
+        }
+        let mut items: Vec<BatchItem> = Vec::with_capacity(pending.len());
+        for (id, epoch) in pending {
+            let Some(sb) = self.sandboxes.get(&id) else {
+                continue; // crash-purged while queued
+            };
+            if sb.epoch != epoch || sb.state != SandboxState::Deduping {
+                continue;
+            }
+            items.push(BatchItem {
+                id,
+                func: sb.func,
+                node: sb.node,
+                image: self.factory.image(sb.func, sb.instance_seed),
+            });
+        }
+        if items.is_empty() {
+            return;
+        }
+
+        // Parallel compute phase. Static contiguous chunking into
+        // disjoint output slots: no locks, no unsafe, and the result
+        // vector is in enqueue order regardless of which worker ran
+        // which chunk. All captures are shared borrows — the registry
+        // takes shard read locks internally.
+        let cfg = &self.cfg;
+        let registry = &self.registry;
+        let bases = &self.bases;
+        let resolve = |bid: SandboxId| bases.get(&bid).map(|(bf, img)| (Arc::clone(img), *bf));
+        let resolve = &resolve;
+        let workers = cfg.pipeline.workers.min(items.len()).max(1);
+        let wall_start = std::time::Instant::now();
+        let mut scans: Vec<Option<DedupScan>> = Vec::new();
+        if workers <= 1 {
+            for it in &items {
+                scans.push(Some(dedup_scan(
+                    cfg, registry, it.node, it.func, &it.image, resolve,
+                )));
+            }
+        } else {
+            scans.resize_with(items.len(), || None);
+            let chunk = items.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                for (inp, out) in items.chunks(chunk).zip(scans.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        for (it, slot) in inp.iter().zip(out.iter_mut()) {
+                            *slot = Some(dedup_scan(
+                                cfg, registry, it.node, it.func, &it.image, resolve,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+        let wall_us = wall_start.elapsed().as_micros() as u64;
+
+        self.metrics.report.dedup_batches += 1;
+        self.metrics.report.dedup_batch_peak =
+            self.metrics.report.dedup_batch_peak.max(items.len() as u64);
+        if self.obs.enabled() {
+            self.obs
+                .span("medes.dedup.batch", now)
+                .attr("size", items.len().to_string())
+                .attr("workers", workers.to_string())
+                .attr("shards", self.registry.shard_count().to_string())
+                .end(now);
+            self.obs.incr("medes.dedup.batches");
+            self.obs
+                .record("medes.dedup.batch_size", items.len() as u64);
+            // Host wall time of the compute phase — deliberately an obs
+            // counter, never a RunReport field, so report equality
+            // across worker counts is unaffected.
+            self.obs.counter_add("medes.dedup.batch_wall_us", wall_us);
+        }
+
+        // Serial merge in first-enqueued order: fabric accounting,
+        // base-image pinning, DedupDone scheduling.
+        for (item, scan) in items.into_iter().zip(scans) {
+            let scan = scan.expect("every batch slot is filled");
+            let f = item.func.0;
+            match dedup_commit(&self.cfg, &mut self.fabric, item.node, scan) {
+                Ok(outcome) => {
+                    outcome.timing.record(
+                        &self.obs,
+                        now,
+                        &self.fns[f].profile.name,
+                        self.cfg.to_paper_bytes(item.image.total_bytes()),
+                    );
+                    // Pin the referenced bases *now*: the dedup table
+                    // already points into them, and they must survive
+                    // until DedupDone commits (or reverts) the state.
+                    for base in &outcome.referenced_bases {
+                        if let Some(b) = self.sandboxes.get_mut(base) {
+                            b.refcount += 1;
+                        }
+                    }
+                    let epoch = self.sandboxes[&item.id].epoch;
+                    sched.after(
+                        outcome.timing.total(),
+                        Ev::DedupDone {
+                            sb: item.id,
+                            epoch,
+                            outcome: Box::new(outcome),
+                        },
+                    );
+                }
+                Err(_) => {
+                    // Same abort path as the serial dedup: keep the
+                    // sandbox warm and reconsider after an idle period.
+                    debug_assert!(!self.cfg.faults.is_empty());
+                    self.obs.incr("medes.platform.dedup_aborts");
+                    let sb = self.sandboxes.get_mut(&item.id).expect("exists");
+                    sb.transition(SandboxState::Warm);
+                    sb.last_used = now;
+                    let epoch = sb.epoch;
+                    self.fns[f].idle_warm.insert((now, item.id));
+                    sched.after(
+                        self.keep_alive_window(f),
+                        Ev::KeepAliveExpire { sb: item.id, epoch },
+                    );
+                    if now + medes.idle_period <= self.horizon + medes.keep_alive {
+                        sched.after(medes.idle_period, Ev::IdleCheck { sb: item.id, epoch });
+                    }
+                }
+            }
+        }
     }
 
     fn dedup_done(
@@ -1213,6 +1396,7 @@ impl World for Cluster {
             }
 
             Ev::DedupDone { sb, epoch, outcome } => self.dedup_done(sb, epoch, *outcome, sched),
+            Ev::DedupFlush => self.dedup_flush(sched),
 
             Ev::PolicyTick => {
                 let Some(medes) = self.medes.clone() else {
@@ -1302,7 +1486,9 @@ mod tests {
     #[test]
     fn every_request_completes() {
         let (suite, trace) = small_trace(120, 2.0);
-        let report = Platform::new(PlatformConfig::small_test(), suite).run(&trace);
+        let report = Platform::new(PlatformConfig::small_test(), suite)
+            .run(&trace)
+            .report;
         assert_eq!(report.requests.len(), trace.len());
         assert!(report.requests.iter().all(|r| r.e2e_us >= r.exec_us));
     }
@@ -1310,8 +1496,12 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let (suite, trace) = small_trace(60, 2.0);
-        let r1 = Platform::new(PlatformConfig::small_test(), suite.clone()).run(&trace);
-        let r2 = Platform::new(PlatformConfig::small_test(), suite).run(&trace);
+        let r1 = Platform::new(PlatformConfig::small_test(), suite.clone())
+            .run(&trace)
+            .report;
+        let r2 = Platform::new(PlatformConfig::small_test(), suite)
+            .run(&trace)
+            .report;
         assert_eq!(r1.requests.len(), r2.requests.len());
         for (a, b) in r1.requests.iter().zip(&r2.requests) {
             assert_eq!(a.e2e_us, b.e2e_us);
@@ -1323,7 +1513,9 @@ mod tests {
     #[test]
     fn first_request_is_a_cold_start_then_warm_reuse() {
         let (suite, trace) = small_trace(120, 2.0);
-        let report = Platform::new(PlatformConfig::small_test(), suite).run(&trace);
+        let report = Platform::new(PlatformConfig::small_test(), suite)
+            .run(&trace)
+            .report;
         // The earliest request of each function must be cold.
         for f in 0..report.functions.len() {
             if let Some(first) = report
@@ -1351,7 +1543,7 @@ mod tests {
                 budget_bytes: 100e6,
             };
         }
-        let report = Platform::new(cfg, suite).run(&trace);
+        let report = Platform::new(cfg, suite).run(&trace).report;
         assert!(
             report.sandboxes_deduped > 0,
             "dedup ops must happen under pressure"
@@ -1368,7 +1560,7 @@ mod tests {
         let (suite, trace) = small_trace(120, 2.0);
         let cfg = PlatformConfig::small_test()
             .with_policy(PolicyKind::FixedKeepAlive(SimDuration::from_mins(10)));
-        let report = Platform::new(cfg, suite).run(&trace);
+        let report = Platform::new(cfg, suite).run(&trace).report;
         assert_eq!(report.sandboxes_deduped, 0);
         assert!(report.requests.iter().all(|r| r.start != StartType::Dedup));
     }
@@ -1382,7 +1574,7 @@ mod tests {
         cfg.node_mem_bytes = 100 << 20;
         let nodes = cfg.nodes;
         let limit = cfg.node_mem_bytes;
-        let report = Platform::new(cfg, suite).run(&trace);
+        let report = Platform::new(cfg, suite).run(&trace).report;
         // Memory samples must stay within cluster capacity (small slack
         // for transient restore overheads).
         let cap = (nodes * limit) as f64;
@@ -1404,7 +1596,8 @@ mod tests {
                 budget_bytes: 100e6,
             };
         }
-        let (report, obs) = Platform::new(cfg, suite).run_observed(&trace);
+        let outcome = Platform::new(cfg, suite).run(&trace);
+        let (report, obs) = (outcome.report, outcome.obs);
         assert_eq!(obs.spans_dropped(), 0, "buffer must hold the whole run");
 
         // Every request is mirrored into the start-type counters and as
@@ -1473,7 +1666,8 @@ mod tests {
         let (suite, trace) = small_trace(60, 2.0);
         let cfg = PlatformConfig::small_test();
         assert!(!cfg.obs.enabled);
-        let (report, obs) = Platform::new(cfg, suite).run_observed(&trace);
+        let outcome = Platform::new(cfg, suite).run(&trace);
+        let (report, obs) = (outcome.report, outcome.obs);
         assert!(!report.requests.is_empty());
         assert_eq!(obs.span_count(), 0);
         assert!(obs.metrics_snapshot().is_empty());

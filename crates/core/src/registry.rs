@@ -8,13 +8,28 @@
 //! Lookups take a page fingerprint (≤ 5 chunk hashes) and return, per
 //! candidate base page, how many of the sampled chunks it shares — the
 //! vote count used for base-page election.
+//!
+//! ## Sharding
+//!
+//! The registry is partitioned into N independent shards keyed by the
+//! chunk hash value (`hash % N`), each behind its own `RwLock`. Because
+//! every chunk hash has exactly one home shard, the per-hash location
+//! cap, vote accumulation, and removal semantics are identical at any
+//! shard count — a single-shard registry is bit-for-bit the legacy
+//! structure. Reads ([`FingerprintRegistry::lookup`],
+//! [`FingerprintRegistry::lookup_batch`]) take `&self` and shard read
+//! locks, so the parallel dedup pipeline's worker pool can probe the
+//! registry concurrently; writes ([`FingerprintRegistry::insert_page`],
+//! [`FingerprintRegistry::remove_sandbox`]) route each chunk through
+//! its home shard's write lock. Global counters are atomics.
 
 use crate::ids::{NodeId, SandboxId};
 use medes_hash::ChunkHash;
 use medes_hash::PageFingerprint;
 use medes_obs::Obs;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Where one RSC lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,16 +59,55 @@ const MAX_LOCS_PER_HASH: usize = 8;
 /// Approximate per-entry bytes for overhead reporting: hash + location.
 const ENTRY_BYTES: usize = 8 + std::mem::size_of::<ChunkLoc>();
 
-/// The global fingerprint registry.
-#[derive(Debug)]
-pub struct FingerprintRegistry {
+/// Interns per-shard metric names so `Obs` (which takes `&'static str`
+/// keys) can record them. The leak is bounded by the number of distinct
+/// shard indices ever used in the process, not by registry count.
+fn interned_name(name: String) -> &'static str {
+    static NAMES: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let mut map = NAMES
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap();
+    if let Some(&s) = map.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    map.insert(name, leaked);
+    leaked
+}
+
+/// One registry shard: the hash table plus the reverse index for the
+/// chunk hashes whose home shard this is.
+#[derive(Debug, Default)]
+struct Shard {
     table: HashMap<ChunkHash, Vec<ChunkLoc>>,
     /// Reverse index for exact removal when a base sandbox is purged.
+    /// Holds only the hashes homed in this shard; shard 0 additionally
+    /// anchors an (possibly empty) entry for every inserted sandbox so
+    /// membership queries see sandboxes whose chunks were all capped.
     by_sandbox: HashMap<SandboxId, Vec<ChunkHash>>,
     entries: usize,
-    peak_entries: usize,
-    lookups: u64,
+}
+
+/// Per-shard metric names (present only when observability is enabled).
+#[derive(Debug, Clone, Copy)]
+struct ShardMetricNames {
+    entries: &'static str,
+    lookups: &'static str,
+}
+
+/// The global fingerprint registry, sharded by chunk hash.
+#[derive(Debug)]
+pub struct FingerprintRegistry {
+    shards: Vec<RwLock<Shard>>,
+    /// Per-shard probe counters (a lookup probes each chunk's home
+    /// shard); atomics because lookups run under read locks.
+    shard_lookups: Vec<AtomicU64>,
+    entries: AtomicUsize,
+    peak_entries: AtomicUsize,
+    lookups: AtomicU64,
     obs: Arc<Obs>,
+    metric_names: Vec<ShardMetricNames>,
 }
 
 impl Default for FingerprintRegistry {
@@ -63,56 +117,139 @@ impl Default for FingerprintRegistry {
 }
 
 impl FingerprintRegistry {
-    /// Creates an empty registry (observability disabled).
+    /// Creates an empty single-shard registry (observability disabled).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates an empty registry recording `medes.registry.*` metrics.
+    /// Creates an empty single-shard registry recording
+    /// `medes.registry.*` metrics.
     pub fn with_obs(obs: Arc<Obs>) -> Self {
+        Self::with_shards_obs(1, obs)
+    }
+
+    /// Creates an empty registry with `shards` independent shards
+    /// (observability disabled). `shards` is clamped to at least 1.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_obs(shards, Obs::disabled())
+    }
+
+    /// Creates an empty registry with `shards` independent shards,
+    /// recording `medes.registry.*` metrics (including per-shard entry
+    /// gauges and lookup counters). `shards` is clamped to at least 1.
+    pub fn with_shards_obs(shards: usize, obs: Arc<Obs>) -> Self {
+        let n = shards.max(1);
+        let metric_names = if obs.enabled() {
+            (0..n)
+                .map(|i| ShardMetricNames {
+                    entries: interned_name(format!("medes.registry.shard{i}.entries")),
+                    lookups: interned_name(format!("medes.registry.shard{i}.lookups")),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         FingerprintRegistry {
-            table: HashMap::new(),
-            by_sandbox: HashMap::new(),
-            entries: 0,
-            peak_entries: 0,
-            lookups: 0,
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_lookups: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            entries: AtomicUsize::new(0),
+            peak_entries: AtomicUsize::new(0),
+            lookups: AtomicU64::new(0),
             obs,
+            metric_names,
         }
     }
 
-    /// Inserts all fingerprint chunks of one base-sandbox page.
-    pub fn insert_page(&mut self, fp: &PageFingerprint, loc: ChunkLoc) {
-        let hashes = self.by_sandbox.entry(loc.sandbox).or_default();
-        let before = self.entries;
-        for chunk in fp.chunks() {
-            let locs = self.table.entry(chunk.hash).or_default();
-            if locs.len() < MAX_LOCS_PER_HASH {
-                locs.push(loc);
-                hashes.push(chunk.hash);
-                self.entries += 1;
-                self.peak_entries = self.peak_entries.max(self.entries);
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Home shard of a chunk hash. Derived from the content hash value
+    /// itself, so the mapping is deterministic across runs and
+    /// processes (never Rust's randomized `HashMap` state).
+    fn shard_of(&self, hash: ChunkHash) -> usize {
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts all fingerprint chunks of one base-sandbox page, each
+    /// routed through its home shard's write lock.
+    pub fn insert_page(&self, fp: &PageFingerprint, loc: ChunkLoc) {
+        let nshards = self.shards.len();
+        let mut inserted_total = 0usize;
+        // Anchor the sandbox in shard 0's reverse index even when no
+        // chunk lands there (or none is inserted at all): the legacy
+        // single-shard registry created the `by_sandbox` entry
+        // unconditionally, and `base_sandboxes`/`contains_sandbox`
+        // must keep counting such sandboxes at every shard count.
+        self.shards[0]
+            .write()
+            .unwrap()
+            .by_sandbox
+            .entry(loc.sandbox)
+            .or_default();
+        // One write-lock acquisition per shard touched, in shard order.
+        for s in 0..nshards {
+            let mut chunks = fp
+                .chunks()
+                .iter()
+                .filter(|c| self.shard_of(c.hash) == s)
+                .peekable();
+            if chunks.peek().is_none() {
+                continue;
+            }
+            let mut shard = self.shards[s].write().unwrap();
+            let mut inserted = 0usize;
+            for chunk in chunks {
+                let locs = shard.table.entry(chunk.hash).or_default();
+                if locs.len() < MAX_LOCS_PER_HASH {
+                    locs.push(loc);
+                    inserted += 1;
+                    shard
+                        .by_sandbox
+                        .entry(loc.sandbox)
+                        .or_default()
+                        .push(chunk.hash);
+                }
+            }
+            shard.entries += inserted;
+            inserted_total += inserted;
+            if self.obs.enabled() {
+                self.obs
+                    .gauge_set(self.metric_names[s].entries, shard.entries as f64);
             }
         }
+        let entries = self.entries.fetch_add(inserted_total, Ordering::Relaxed) + inserted_total;
+        self.peak_entries.fetch_max(entries, Ordering::Relaxed);
         if self.obs.enabled() {
             self.obs
-                .counter_add("medes.registry.inserts", (self.entries - before) as u64);
-            self.obs
-                .gauge_set("medes.registry.entries", self.entries as f64);
+                .counter_add("medes.registry.inserts", inserted_total as u64);
+            self.obs.gauge_set("medes.registry.entries", entries as f64);
         }
     }
 
-    /// Looks up a page fingerprint and returns candidate base pages
-    /// ordered by descending vote count (stable order for determinism).
-    pub fn lookup(&mut self, fp: &PageFingerprint) -> Vec<Candidate> {
-        self.lookups += 1;
-        let mut votes: HashMap<ChunkLoc, u32> = HashMap::new();
+    /// Accumulates one fingerprint's votes out of the shards. Callers
+    /// hold no locks; each chunk probes its home shard.
+    fn accumulate_votes(&self, fp: &PageFingerprint, votes: &mut HashMap<ChunkLoc, u32>) {
         for chunk in fp.chunks() {
-            if let Some(locs) = self.table.get(&chunk.hash) {
+            let s = self.shard_of(chunk.hash);
+            self.shard_lookups[s].fetch_add(1, Ordering::Relaxed);
+            if self.obs.enabled() {
+                self.obs.incr(self.metric_names[s].lookups);
+            }
+            let shard = self.shards[s].read().unwrap();
+            if let Some(locs) = shard.table.get(&chunk.hash) {
                 for &loc in locs {
                     *votes.entry(loc).or_insert(0) += 1;
                 }
             }
         }
+    }
+
+    /// Orders candidates by descending vote count with a total-order
+    /// tie-break, so the result is independent of shard count and of
+    /// `HashMap` iteration order.
+    fn sorted_candidates(votes: HashMap<ChunkLoc, u32>) -> Vec<Candidate> {
         let mut out: Vec<Candidate> = votes
             .into_iter()
             .map(|(loc, votes)| Candidate { loc, votes })
@@ -122,7 +259,22 @@ impl FingerprintRegistry {
                 .cmp(&a.votes)
                 .then_with(|| a.loc.sandbox.cmp(&b.loc.sandbox))
                 .then_with(|| a.loc.page.cmp(&b.loc.page))
+                .then_with(|| a.loc.node.cmp(&b.loc.node))
         });
+        out
+    }
+
+    /// Looks up a page fingerprint and returns candidate base pages
+    /// ordered by descending vote count (stable order for determinism).
+    ///
+    /// Takes `&self`: lookups share the registry across the dedup
+    /// pipeline's worker threads, guarded by shard read locks, with
+    /// the lookup counter kept in an atomic.
+    pub fn lookup(&self, fp: &PageFingerprint) -> Vec<Candidate> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut votes: HashMap<ChunkLoc, u32> = HashMap::new();
+        self.accumulate_votes(fp, &mut votes);
+        let out = Self::sorted_candidates(votes);
         if self.obs.enabled() {
             self.obs.incr("medes.registry.lookups");
             self.obs
@@ -131,107 +283,255 @@ impl FingerprintRegistry {
         out
     }
 
-    /// Removes every entry contributed by a base sandbox.
-    pub fn remove_sandbox(&mut self, sandbox: SandboxId) {
-        let Some(hashes) = self.by_sandbox.remove(&sandbox) else {
-            return;
-        };
-        for h in hashes {
-            if let Some(locs) = self.table.get_mut(&h) {
-                let before = locs.len();
-                locs.retain(|l| l.sandbox != sandbox);
-                self.entries -= before - locs.len();
-                if locs.is_empty() {
-                    self.table.remove(&h);
+    /// Looks up a batch of page fingerprints, grouping the chunk probes
+    /// by home shard so each shard's read lock is taken at most once
+    /// per batch. Returns one candidate list per input fingerprint,
+    /// identical to calling [`FingerprintRegistry::lookup`] on each.
+    pub fn lookup_batch(&self, fps: &[PageFingerprint]) -> Vec<Vec<Candidate>> {
+        self.lookups.fetch_add(fps.len() as u64, Ordering::Relaxed);
+        let nshards = self.shards.len();
+        // probes[s] = (fingerprint index, chunk hash) pairs homed in s.
+        let mut probes: Vec<Vec<(usize, ChunkHash)>> = vec![Vec::new(); nshards];
+        for (i, fp) in fps.iter().enumerate() {
+            for chunk in fp.chunks() {
+                probes[self.shard_of(chunk.hash)].push((i, chunk.hash));
+            }
+        }
+        let mut votes: Vec<HashMap<ChunkLoc, u32>> = vec![HashMap::new(); fps.len()];
+        for (s, shard_probes) in probes.iter().enumerate() {
+            if shard_probes.is_empty() {
+                continue;
+            }
+            self.shard_lookups[s].fetch_add(shard_probes.len() as u64, Ordering::Relaxed);
+            if self.obs.enabled() {
+                self.obs
+                    .counter_add(self.metric_names[s].lookups, shard_probes.len() as u64);
+            }
+            let shard = self.shards[s].read().unwrap();
+            for &(i, hash) in shard_probes {
+                if let Some(locs) = shard.table.get(&hash) {
+                    for &loc in locs {
+                        *votes[i].entry(loc).or_insert(0) += 1;
+                    }
                 }
             }
         }
+        let out: Vec<Vec<Candidate>> = votes.into_iter().map(Self::sorted_candidates).collect();
+        if self.obs.enabled() {
+            self.obs
+                .counter_add("medes.registry.lookups", fps.len() as u64);
+            for cands in &out {
+                self.obs
+                    .record("medes.registry.candidates", cands.len() as u64);
+            }
+        }
+        out
+    }
+
+    /// Legacy exclusive-borrow lookup, kept for source compatibility.
+    #[deprecated(since = "0.4.0", note = "use `lookup`, which takes `&self`")]
+    pub fn lookup_mut(&mut self, fp: &PageFingerprint) -> Vec<Candidate> {
+        self.lookup(fp)
+    }
+
+    /// Removes every entry contributed by a base sandbox, shard by
+    /// shard through the shard-local write locks.
+    pub fn remove_sandbox(&self, sandbox: SandboxId) {
+        let mut removed_total = 0usize;
+        let mut known = false;
+        for (s, lock) in self.shards.iter().enumerate() {
+            let mut shard = lock.write().unwrap();
+            let Some(hashes) = shard.by_sandbox.remove(&sandbox) else {
+                continue;
+            };
+            known = true;
+            let mut removed = 0usize;
+            for h in hashes {
+                if let Some(locs) = shard.table.get_mut(&h) {
+                    let before = locs.len();
+                    locs.retain(|l| l.sandbox != sandbox);
+                    removed += before - locs.len();
+                    if locs.is_empty() {
+                        shard.table.remove(&h);
+                    }
+                }
+            }
+            shard.entries -= removed;
+            removed_total += removed;
+            if self.obs.enabled() {
+                self.obs
+                    .gauge_set(self.metric_names[s].entries, shard.entries as f64);
+            }
+        }
+        if !known {
+            return;
+        }
+        let entries = self.entries.fetch_sub(removed_total, Ordering::Relaxed) - removed_total;
         if self.obs.enabled() {
             self.obs.incr("medes.registry.evictions");
-            self.obs
-                .gauge_set("medes.registry.entries", self.entries as f64);
+            self.obs.gauge_set("medes.registry.entries", entries as f64);
         }
     }
 
     /// Number of (hash, location) entries.
     pub fn entries(&self) -> usize {
-        self.entries
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// High-water mark of entries over the registry's lifetime (the
     /// §7.7 controller-overhead number; the live count drains as base
     /// sandboxes expire at the end of a run).
     pub fn peak_entries(&self) -> usize {
-        self.peak_entries
+        self.peak_entries.load(Ordering::Relaxed)
     }
 
     /// High-water mark of registry bytes.
     pub fn peak_mem_bytes(&self) -> usize {
-        self.peak_entries * ENTRY_BYTES
+        self.peak_entries() * ENTRY_BYTES
     }
 
     /// Total lookups served (for the §7.7 overhead report).
     pub fn lookups(&self) -> u64 {
-        self.lookups
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Live entry count per shard.
+    pub fn shard_entries(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().entries)
+            .collect()
+    }
+
+    /// Chunk probes served per shard (a lookup probes each of its
+    /// chunks' home shards once).
+    pub fn shard_lookup_counts(&self) -> Vec<u64> {
+        self.shard_lookups
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Approximate resident bytes of the registry.
     pub fn mem_bytes(&self) -> usize {
-        self.entries * ENTRY_BYTES
+        self.entries() * ENTRY_BYTES
     }
 
-    /// Number of base sandboxes currently contributing entries.
+    /// Number of base sandboxes currently contributing entries — the
+    /// *distinct* union across shards (a sandbox's chunk hashes span
+    /// shards, so summing per-shard reverse-index sizes would
+    /// over-count).
     pub fn base_sandboxes(&self) -> usize {
-        self.by_sandbox.len()
+        if self.shards.len() == 1 {
+            return self.shards[0].read().unwrap().by_sandbox.len();
+        }
+        let mut seen: std::collections::HashSet<SandboxId> = std::collections::HashSet::new();
+        for lock in &self.shards {
+            seen.extend(lock.read().unwrap().by_sandbox.keys().copied());
+        }
+        seen.len()
+    }
+
+    /// Whether any shard still holds entries (or the reverse-index
+    /// anchor) for this sandbox.
+    pub fn contains_sandbox(&self, sandbox: SandboxId) -> bool {
+        self.shards
+            .iter()
+            .any(|s| s.read().unwrap().by_sandbox.contains_key(&sandbox))
     }
 
     /// Number of chunk locations pointing at `node`. Used by crash
     /// recovery to assert a dead node's chunks were all purged.
     pub fn locs_on_node(&self, node: NodeId) -> usize {
-        self.table
-            .values()
-            .map(|locs| locs.iter().filter(|l| l.node == node).count())
+        self.shards
+            .iter()
+            .map(|lock| {
+                let shard = lock.read().unwrap();
+                shard
+                    .table
+                    .values()
+                    .map(|locs| locs.iter().filter(|l| l.node == node).count())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
-    /// Checks that `table` and `by_sandbox` are mutually consistent:
-    /// the entry count matches the table, every location's sandbox is
-    /// known to the reverse index, and each sandbox's per-hash
-    /// multiplicity in `by_sandbox` matches the table exactly (so
-    /// [`FingerprintRegistry::remove_sandbox`] removes everything).
+    /// Checks that every shard's `table` and `by_sandbox` are mutually
+    /// consistent, that each chunk hash lives in (only) its home shard
+    /// — cross-shard disjointness — and that the global entry counter
+    /// matches the per-shard sums.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let counted: usize = self.table.values().map(Vec::len).sum();
-        if counted != self.entries {
-            return Err(format!(
-                "entry count drifted: counted {counted}, tracked {}",
-                self.entries
-            ));
-        }
-        let mut per_sandbox_hash: HashMap<(SandboxId, ChunkHash), usize> = HashMap::new();
-        for (&hash, locs) in &self.table {
-            if locs.is_empty() {
-                return Err(format!("empty location list left for hash {hash:?}"));
+        let mut total = 0usize;
+        for (s, lock) in self.shards.iter().enumerate() {
+            let shard = lock.read().unwrap();
+            let counted: usize = shard.table.values().map(Vec::len).sum();
+            if counted != shard.entries {
+                return Err(format!(
+                    "shard {s}: entry count drifted: counted {counted}, tracked {}",
+                    shard.entries
+                ));
             }
-            for loc in locs {
-                if !self.by_sandbox.contains_key(&loc.sandbox) {
+            total += counted;
+            let mut per_sandbox_hash: HashMap<(SandboxId, ChunkHash), usize> = HashMap::new();
+            for (&hash, locs) in &shard.table {
+                if self.shard_of(hash) != s {
                     return Err(format!(
-                        "table references sandbox sb{} unknown to by_sandbox",
-                        loc.sandbox.0
+                        "shard {s}: hash {hash:#x} homed in shard {} (cross-shard \
+                         disjointness violated)",
+                        self.shard_of(hash)
                     ));
                 }
-                *per_sandbox_hash.entry((loc.sandbox, hash)).or_insert(0) += 1;
+                if locs.is_empty() {
+                    return Err(format!("shard {s}: empty location list left for {hash:#x}"));
+                }
+                for loc in locs {
+                    if !shard.by_sandbox.contains_key(&loc.sandbox) {
+                        return Err(format!(
+                            "shard {s}: table references sandbox sb{} unknown to by_sandbox",
+                            loc.sandbox.0
+                        ));
+                    }
+                    *per_sandbox_hash.entry((loc.sandbox, hash)).or_insert(0) += 1;
+                }
+            }
+            let mut reverse: HashMap<(SandboxId, ChunkHash), usize> = HashMap::new();
+            for (&sb, hashes) in &shard.by_sandbox {
+                for &h in hashes {
+                    if self.shard_of(h) != s {
+                        return Err(format!(
+                            "shard {s}: by_sandbox hash {h:#x} homed in shard {}",
+                            self.shard_of(h)
+                        ));
+                    }
+                    *reverse.entry((sb, h)).or_insert(0) += 1;
+                }
+            }
+            if per_sandbox_hash != reverse {
+                return Err(format!(
+                    "shard {s}: by_sandbox multiplicities do not match the table"
+                ));
             }
         }
-        let mut reverse: HashMap<(SandboxId, ChunkHash), usize> = HashMap::new();
-        for (&sb, hashes) in &self.by_sandbox {
-            for &h in hashes {
-                *reverse.entry((sb, h)).or_insert(0) += 1;
-            }
-        }
-        if per_sandbox_hash != reverse {
-            return Err("by_sandbox multiplicities do not match the table".to_string());
+        if total != self.entries() {
+            return Err(format!(
+                "global entry counter drifted: shards hold {total}, tracked {}",
+                self.entries()
+            ));
         }
         Ok(())
+    }
+
+    /// All (hash, location) pairs, for test assertions.
+    #[cfg(test)]
+    fn snapshot_locs(&self) -> Vec<(ChunkHash, ChunkLoc)> {
+        let mut out = Vec::new();
+        for lock in &self.shards {
+            let shard = lock.read().unwrap();
+            for (&h, locs) in &shard.table {
+                out.extend(locs.iter().map(|&l| (h, l)));
+            }
+        }
+        out
     }
 }
 
@@ -262,7 +562,7 @@ mod tests {
         let page = random_page(1);
         let fp = page_fingerprint(&page, &cfg);
         assert!(!fp.is_empty());
-        let mut reg = FingerprintRegistry::new();
+        let reg = FingerprintRegistry::new();
         reg.insert_page(&fp, loc(1, 0));
         let cands = reg.lookup(&fp);
         assert_eq!(cands.len(), 1);
@@ -273,7 +573,7 @@ mod tests {
     #[test]
     fn unrelated_page_gets_no_candidates() {
         let cfg = FingerprintConfig::default();
-        let mut reg = FingerprintRegistry::new();
+        let reg = FingerprintRegistry::new();
         reg.insert_page(&page_fingerprint(&random_page(1), &cfg), loc(1, 0));
         let cands = reg.lookup(&page_fingerprint(&random_page(2), &cfg));
         assert!(cands.is_empty());
@@ -288,7 +588,7 @@ mod tests {
         let mut partial = random_page(4);
         partial[..2048].copy_from_slice(&page[..2048]);
         let fp_partial = page_fingerprint(&partial, &cfg);
-        let mut reg = FingerprintRegistry::new();
+        let reg = FingerprintRegistry::new();
         reg.insert_page(&fp, loc(1, 0));
         reg.insert_page(&fp_partial, loc(2, 0));
         let cands = reg.lookup(&fp);
@@ -301,7 +601,7 @@ mod tests {
     #[test]
     fn removal_is_exact() {
         let cfg = FingerprintConfig::default();
-        let mut reg = FingerprintRegistry::new();
+        let reg = FingerprintRegistry::new();
         let fp1 = page_fingerprint(&random_page(5), &cfg);
         let fp2 = page_fingerprint(&random_page(6), &cfg);
         reg.insert_page(&fp1, loc(1, 0));
@@ -312,6 +612,8 @@ mod tests {
         assert!(reg.lookup(&fp1).is_empty());
         assert!(!reg.lookup(&fp2).is_empty());
         assert_eq!(reg.base_sandboxes(), 1);
+        assert!(!reg.contains_sandbox(SandboxId(1)));
+        assert!(reg.contains_sandbox(SandboxId(2)));
     }
 
     #[test]
@@ -319,94 +621,203 @@ mod tests {
         let cfg = FingerprintConfig::default();
         let page = random_page(7);
         let fp = page_fingerprint(&page, &cfg);
-        let mut reg = FingerprintRegistry::new();
-        for sb in 0..20 {
-            reg.insert_page(&fp, loc(sb, 0));
+        for shards in [1, 4] {
+            let reg = FingerprintRegistry::with_shards(shards);
+            for sb in 0..20 {
+                reg.insert_page(&fp, loc(sb, 0));
+            }
+            let cands = reg.lookup(&fp);
+            assert!(cands.len() <= MAX_LOCS_PER_HASH);
+            assert!(reg.mem_bytes() > 0);
         }
-        let cands = reg.lookup(&fp);
-        assert!(cands.len() <= MAX_LOCS_PER_HASH);
-        assert!(reg.mem_bytes() > 0);
     }
 
     #[test]
     fn lookup_counter_increments() {
         let cfg = FingerprintConfig::default();
-        let mut reg = FingerprintRegistry::new();
+        let reg = FingerprintRegistry::new();
         let fp = page_fingerprint(&random_page(8), &cfg);
         reg.lookup(&fp);
         reg.lookup(&fp);
         assert_eq!(reg.lookups(), 2);
     }
 
-    /// Randomized insert/remove interleavings must keep `table` and
-    /// `by_sandbox` mutually consistent, and no location may survive
-    /// its sandbox's eviction.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_lookup_mut_still_works() {
+        let cfg = FingerprintConfig::default();
+        let mut reg = FingerprintRegistry::new();
+        let fp = page_fingerprint(&random_page(8), &cfg);
+        reg.insert_page(&fp, loc(1, 0));
+        let via_mut = reg.lookup_mut(&fp);
+        let via_shared = reg.lookup(&fp);
+        assert_eq!(via_mut, via_shared);
+        assert_eq!(reg.lookups(), 2);
+    }
+
+    /// The shard map must be a pure function of the chunk hash: the
+    /// same content produces identical lookup results, entry counts,
+    /// and base-sandbox counts at every shard count.
+    #[test]
+    fn lookup_results_are_shard_count_invariant() {
+        let cfg = FingerprintConfig::default();
+        let pages: Vec<Vec<u8>> = (0..24).map(random_page).collect();
+        let fps: Vec<PageFingerprint> = pages.iter().map(|p| page_fingerprint(p, &cfg)).collect();
+        let mut partial = random_page(100);
+        partial[..2048].copy_from_slice(&pages[0][..2048]);
+        let fp_partial = page_fingerprint(&partial, &cfg);
+
+        let build = |shards: usize| {
+            let reg = FingerprintRegistry::with_shards(shards);
+            for (i, fp) in fps.iter().enumerate() {
+                reg.insert_page(
+                    fp,
+                    ChunkLoc {
+                        node: NodeId(i % 3),
+                        sandbox: SandboxId((i % 5) as u64 + 1),
+                        page: i as u32,
+                    },
+                );
+            }
+            reg.remove_sandbox(SandboxId(2));
+            reg
+        };
+
+        let baseline = build(1);
+        for shards in [2, 4, 16] {
+            let reg = build(shards);
+            assert_eq!(reg.entries(), baseline.entries(), "{shards} shards");
+            assert_eq!(
+                reg.peak_entries(),
+                baseline.peak_entries(),
+                "{shards} shards"
+            );
+            assert_eq!(
+                reg.base_sandboxes(),
+                baseline.base_sandboxes(),
+                "{shards} shards"
+            );
+            for fp in fps.iter().chain([&fp_partial]) {
+                assert_eq!(reg.lookup(fp), baseline.lookup(fp), "{shards} shards");
+            }
+            reg.check_invariants().expect("sharded invariants");
+        }
+    }
+
+    /// `lookup_batch` must return exactly what per-fingerprint `lookup`
+    /// returns, and advance the same counters.
+    #[test]
+    fn lookup_batch_matches_individual_lookups() {
+        let cfg = FingerprintConfig::default();
+        for shards in [1, 4, 16] {
+            let reg = FingerprintRegistry::with_shards(shards);
+            for i in 0..16u64 {
+                let fp = page_fingerprint(&random_page(i), &cfg);
+                reg.insert_page(&fp, loc(i % 4 + 1, i as u32));
+            }
+            let probes: Vec<PageFingerprint> = (0..20u64)
+                .map(|i| page_fingerprint(&random_page(i), &cfg))
+                .collect();
+            let individual: Vec<Vec<Candidate>> = probes.iter().map(|fp| reg.lookup(fp)).collect();
+            let lookups_before = reg.lookups();
+            let batched = reg.lookup_batch(&probes);
+            assert_eq!(batched, individual, "{shards} shards");
+            assert_eq!(reg.lookups(), lookups_before + probes.len() as u64);
+        }
+    }
+
+    /// A sandbox whose pages span many shards is still one base
+    /// sandbox: the count is a distinct union, not a per-shard sum.
+    #[test]
+    fn base_sandboxes_is_distinct_union_across_shards() {
+        let cfg = FingerprintConfig::default();
+        let reg = FingerprintRegistry::with_shards(8);
+        for page in 0..12u64 {
+            let fp = page_fingerprint(&random_page(1000 + page), &cfg);
+            reg.insert_page(&fp, loc(1, page as u32));
+        }
+        let spread = reg.shard_entries().iter().filter(|&&e| e > 0).count();
+        assert!(spread > 1, "test premise: chunks should span shards");
+        assert_eq!(reg.base_sandboxes(), 1);
+        reg.remove_sandbox(SandboxId(1));
+        assert_eq!(reg.base_sandboxes(), 0);
+        assert_eq!(reg.entries(), 0);
+    }
+
+    /// Randomized insert/remove interleavings must keep every shard's
+    /// `table` and `by_sandbox` mutually consistent — at several shard
+    /// counts — and no location may survive its sandbox's eviction.
     #[test]
     fn random_interleavings_keep_invariants() {
         let cfg = FingerprintConfig::default();
-        let mut rng = DetRng::new(0x1EC5);
-        for case in 0..24 {
-            let mut reg = FingerprintRegistry::new();
-            let mut live: Vec<u64> = Vec::new();
-            let mut evicted: Vec<u64> = Vec::new();
-            let mut next_sb = 1u64;
-            for step in 0..rng.range(20, 60) {
-                if live.is_empty() || rng.chance(0.65) {
-                    // Insert a few pages for a fresh or existing sandbox.
-                    let sb = if live.is_empty() || rng.chance(0.4) {
-                        let sb = next_sb;
-                        next_sb += 1;
-                        live.push(sb);
-                        sb
-                    } else {
-                        live[rng.below(live.len() as u64) as usize]
-                    };
-                    for page in 0..rng.range(1, 4) {
-                        let fp = page_fingerprint(&random_page(rng.next_u64()), &cfg);
-                        if !fp.is_empty() {
-                            reg.insert_page(
-                                &fp,
-                                ChunkLoc {
-                                    node: NodeId(rng.below(4) as usize),
-                                    sandbox: SandboxId(sb),
-                                    page: page as u32,
-                                },
-                            );
+        for shards in [1, 3, 8] {
+            let mut rng = DetRng::new(0x1EC5);
+            for case in 0..16 {
+                let reg = FingerprintRegistry::with_shards(shards);
+                let mut live: Vec<u64> = Vec::new();
+                let mut evicted: Vec<u64> = Vec::new();
+                let mut next_sb = 1u64;
+                for step in 0..rng.range(20, 60) {
+                    if live.is_empty() || rng.chance(0.65) {
+                        // Insert a few pages for a fresh or existing sandbox.
+                        let sb = if live.is_empty() || rng.chance(0.4) {
+                            let sb = next_sb;
+                            next_sb += 1;
+                            live.push(sb);
+                            sb
+                        } else {
+                            live[rng.below(live.len() as u64) as usize]
+                        };
+                        for page in 0..rng.range(1, 4) {
+                            let fp = page_fingerprint(&random_page(rng.next_u64()), &cfg);
+                            if !fp.is_empty() {
+                                reg.insert_page(
+                                    &fp,
+                                    ChunkLoc {
+                                        node: NodeId(rng.below(4) as usize),
+                                        sandbox: SandboxId(sb),
+                                        page: page as u32,
+                                    },
+                                );
+                            }
                         }
+                    } else {
+                        let i = rng.below(live.len() as u64) as usize;
+                        let sb = live.swap_remove(i);
+                        reg.remove_sandbox(SandboxId(sb));
+                        evicted.push(sb);
                     }
-                } else {
-                    let i = rng.below(live.len() as u64) as usize;
-                    let sb = live.swap_remove(i);
-                    reg.remove_sandbox(SandboxId(sb));
-                    evicted.push(sb);
+                    reg.check_invariants()
+                        .unwrap_or_else(|e| panic!("shards {shards} case {case} step {step}: {e}"));
                 }
-                reg.check_invariants()
-                    .unwrap_or_else(|e| panic!("case {case} step {step}: {e}"));
-            }
-            // No ChunkLoc points at an evicted sandbox.
-            for &sb in &evicted {
-                for locs in reg.table.values() {
+                // No ChunkLoc points at an evicted sandbox.
+                for &sb in &evicted {
                     assert!(
-                        locs.iter().all(|l| l.sandbox != SandboxId(sb)),
-                        "case {case}: location survived eviction of sb{sb}"
+                        reg.snapshot_locs()
+                            .iter()
+                            .all(|(_, l)| l.sandbox != SandboxId(sb)),
+                        "shards {shards} case {case}: location survived eviction of sb{sb}"
                     );
+                    assert!(!reg.contains_sandbox(SandboxId(sb)));
                 }
-                assert!(!reg.by_sandbox.contains_key(&SandboxId(sb)));
+                // Evicting everything drains the registry completely.
+                for sb in live.drain(..) {
+                    reg.remove_sandbox(SandboxId(sb));
+                }
+                reg.check_invariants().expect("drained registry");
+                assert_eq!(reg.entries(), 0, "shards {shards} case {case}");
+                assert!(
+                    reg.snapshot_locs().is_empty(),
+                    "shards {shards} case {case}"
+                );
             }
-            // Evicting everything drains the registry completely.
-            for sb in live.drain(..) {
-                reg.remove_sandbox(SandboxId(sb));
-            }
-            reg.check_invariants().expect("drained registry");
-            assert_eq!(reg.entries(), 0, "case {case}");
-            assert!(reg.table.is_empty(), "case {case}");
         }
     }
 
     #[test]
     fn locs_on_node_counts_and_drains() {
         let cfg = FingerprintConfig::default();
-        let mut reg = FingerprintRegistry::new();
+        let reg = FingerprintRegistry::with_shards(4);
         let fp1 = page_fingerprint(&random_page(21), &cfg);
         let fp2 = page_fingerprint(&random_page(22), &cfg);
         reg.insert_page(
@@ -437,12 +848,21 @@ mod tests {
     fn obs_mirrors_registry_activity() {
         let obs = Obs::new(medes_obs::ObsConfig::enabled());
         let cfg = FingerprintConfig::default();
-        let mut reg = FingerprintRegistry::with_obs(Arc::clone(&obs));
+        let reg = FingerprintRegistry::with_shards_obs(2, Arc::clone(&obs));
         let fp = page_fingerprint(&random_page(9), &cfg);
         reg.insert_page(&fp, loc(1, 0));
         reg.lookup(&fp);
         assert_eq!(obs.counter("medes.registry.inserts"), fp.len() as u64);
         assert_eq!(obs.counter("medes.registry.lookups"), 1);
+        // Per-shard probe counters sum to the chunk probes served.
+        let per_shard: u64 = (0..2)
+            .map(|i| obs.counter(interned_name(format!("medes.registry.shard{i}.lookups"))))
+            .sum();
+        assert_eq!(per_shard, fp.len() as u64);
+        assert_eq!(
+            reg.shard_lookup_counts().iter().sum::<u64>(),
+            fp.len() as u64
+        );
         reg.remove_sandbox(SandboxId(1));
         assert_eq!(obs.counter("medes.registry.evictions"), 1);
     }

@@ -369,10 +369,10 @@ mod tests {
         MemoryImage,
     ) {
         let cfg = PlatformConfig::small_test();
-        let mut registry = FingerprintRegistry::new();
+        let registry = FingerprintRegistry::new();
         let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
         let base = Arc::new(synth_image(4, 0xBA5E));
-        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+        index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
         let mut data = Vec::new();
         for _ in 0..6 {
             data.extend_from_slice(base.page(2));
@@ -386,7 +386,7 @@ mod tests {
         let base_arc = Arc::clone(&base);
         let outcome = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(1),
             FnId(0),
@@ -415,15 +415,15 @@ mod tests {
             AslrConfig::DISABLED,
             cfg.mem_scale,
         );
-        let mut registry = FingerprintRegistry::new();
+        let registry = FingerprintRegistry::new();
         let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
         let base = factory.pin(FnId(0), 10);
-        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+        index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
         let target = factory.image(FnId(0), 20);
         let base_arc = Arc::clone(&base);
         let outcome = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(1),
             FnId(0),

@@ -82,7 +82,7 @@ fn main() {
             budget_bytes: 400e6,
         };
     }
-    let report = Platform::new(cfg, suite).run(&trace);
+    let report = Platform::new(cfg, suite).run(&trace).report;
 
     println!(
         "\n{:<16} {:>10} {:>10} {:>10} {:>12}",

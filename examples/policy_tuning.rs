@@ -88,7 +88,7 @@ fn main() {
             objective: Objective::LatencyTarget { alpha },
             ..Default::default()
         });
-        let r = Platform::new(cfg, suite.clone()).run(&trace);
+        let r = Platform::new(cfg, suite.clone()).run(&trace).report;
         println!(
             "{:<10} {:>12} {:>14} {:>16.2} {:>14.1}",
             alpha,

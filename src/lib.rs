@@ -39,8 +39,9 @@
 //!     &TraceGenConfig { duration_secs: 60, scale: 1.0, ..Default::default() },
 //! );
 //!
-//! // Run it on a Medes cluster and inspect the outcome.
-//! let report = Platform::new(PlatformConfig::small_test(), suite).run(&trace);
+//! // Run it on a Medes cluster and inspect the outcome. `run` returns
+//! // a `RunOutcome`: the report plus the observability handle.
+//! let report = Platform::new(PlatformConfig::small_test(), suite).run(&trace).report;
 //! println!(
 //!     "{} requests, {} cold starts, {:.1}% sandboxes deduplicated",
 //!     report.requests.len(),

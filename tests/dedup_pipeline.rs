@@ -37,15 +37,15 @@ fn full_pipeline_reconstructs_every_page() {
     let cfg = config();
     let base = image("PipeFn", 16, &["numpy"], cfg.mem_scale, 1);
     let target = image("PipeFn", 16, &["numpy"], cfg.mem_scale, 2);
-    let mut registry = FingerprintRegistry::new();
+    let registry = FingerprintRegistry::new();
     let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
-    index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+    index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
 
     let b = Arc::clone(&base);
     let resolver = move |id: SandboxId| (id == SandboxId(1)).then(|| (Arc::clone(&b), FnId(0)));
     let outcome = dedup_op(
         &cfg,
-        &mut registry,
+        &registry,
         &mut fabric,
         NodeId(1),
         FnId(0),
@@ -85,13 +85,13 @@ fn dedup_footprint_is_always_smaller_when_pages_patch() {
     let cfg = config();
     let base = image("SizeFn", 24, &["pandas"], cfg.mem_scale, 5);
     let target = image("SizeFn", 24, &["pandas"], cfg.mem_scale, 6);
-    let mut registry = FingerprintRegistry::new();
+    let registry = FingerprintRegistry::new();
     let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
-    index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+    index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
     let b = Arc::clone(&base);
     let outcome = dedup_op(
         &cfg,
-        &mut registry,
+        &registry,
         &mut fabric,
         NodeId(0),
         FnId(0),
@@ -118,17 +118,17 @@ fn aslr_reduces_dedup_effectiveness_but_not_correctness() {
         )
     };
     cfg.aslr = AslrConfig::LINUX;
-    let mut registry_off = FingerprintRegistry::new();
-    let mut registry_on = FingerprintRegistry::new();
+    let registry_off = FingerprintRegistry::new();
+    let registry_on = FingerprintRegistry::new();
     let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
 
     let base_off = build(AslrConfig::DISABLED, 1);
     let tgt_off = build(AslrConfig::DISABLED, 2);
-    index_base_sandbox(&cfg, &mut registry_off, NodeId(0), SandboxId(1), &base_off);
+    index_base_sandbox(&cfg, &registry_off, NodeId(0), SandboxId(1), &base_off);
     let b = Arc::clone(&base_off);
     let off = dedup_op(
         &cfg,
-        &mut registry_off,
+        &registry_off,
         &mut fabric,
         NodeId(0),
         FnId(0),
@@ -139,12 +139,12 @@ fn aslr_reduces_dedup_effectiveness_but_not_correctness() {
 
     let base_on = build(AslrConfig::LINUX, 1);
     let tgt_on = build(AslrConfig::LINUX, 2);
-    index_base_sandbox(&cfg, &mut registry_on, NodeId(0), SandboxId(1), &base_on);
+    index_base_sandbox(&cfg, &registry_on, NodeId(0), SandboxId(1), &base_on);
     let b = Arc::clone(&base_on);
     let resolver_on = move |id: SandboxId| (id == SandboxId(1)).then(|| (Arc::clone(&b), FnId(0)));
     let on = dedup_op(
         &cfg,
-        &mut registry_on,
+        &registry_on,
         &mut fabric,
         NodeId(0),
         FnId(0),
@@ -187,7 +187,7 @@ fn identical_pages_always_elect_a_base() {
         if fp.is_empty() {
             continue;
         }
-        let mut reg = FingerprintRegistry::new();
+        let reg = FingerprintRegistry::new();
         reg.insert_page(
             &fp,
             medes::platform::registry::ChunkLoc {
@@ -220,13 +220,13 @@ fn savings_accounting_is_consistent() {
         let cfg = config();
         let base = image("PropFn", 8, &[], cfg.mem_scale, a);
         let target = image("PropFn", 8, &[], cfg.mem_scale, b);
-        let mut registry = FingerprintRegistry::new();
+        let registry = FingerprintRegistry::new();
         let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
-        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+        index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
         let bb = Arc::clone(&base);
         let outcome = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(0),
             FnId(0),

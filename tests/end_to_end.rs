@@ -45,7 +45,7 @@ fn restores_verify_byte_for_byte_under_load() {
     }
     assert!(cfg.verify_restores);
     let t = trace(400, 11);
-    let report = Platform::new(cfg, suite()).run(&t);
+    let report = Platform::new(cfg, suite()).run(&t).report;
     assert_eq!(report.requests.len(), t.len());
     // The run must actually exercise the dedup path for the test to
     // mean anything.
@@ -91,7 +91,7 @@ fn dedup_starts_are_faster_than_cold_starts() {
     }
     let t = trace(400, 12);
     let s = suite();
-    let report = Platform::new(cfg, s.clone()).run(&t);
+    let report = Platform::new(cfg, s.clone()).run(&t).report;
     for r in &report.requests {
         match r.start {
             StartType::Dedup => {
@@ -118,8 +118,8 @@ fn dedup_starts_are_faster_than_cold_starts() {
 #[test]
 fn deterministic_across_identical_runs() {
     let t = trace(200, 9);
-    let r1 = Platform::new(pressured_config(), suite()).run(&t);
-    let r2 = Platform::new(pressured_config(), suite()).run(&t);
+    let r1 = Platform::new(pressured_config(), suite()).run(&t).report;
+    let r2 = Platform::new(pressured_config(), suite()).run(&t).report;
     assert_eq!(r1.requests.len(), r2.requests.len());
     for (a, b) in r1.requests.iter().zip(&r2.requests) {
         assert_eq!((a.id, a.e2e_us, a.start), (b.id, b.e2e_us, b.start));
@@ -134,9 +134,9 @@ fn catalyzer_mode_reduces_cold_penalty() {
     let mut plain =
         pressured_config().with_policy(PolicyKind::FixedKeepAlive(SimDuration::from_mins(10)));
     let t = trace(300, 13);
-    let normal = Platform::new(plain.clone(), suite()).run(&t);
+    let normal = Platform::new(plain.clone(), suite()).run(&t).report;
     plain.catalyzer_mode = true;
-    let cata = Platform::new(plain, suite()).run(&t);
+    let cata = Platform::new(plain, suite()).run(&t).report;
     // Nearly the same cold-start count (faster spawns shift timing
     // slightly), far lower cold latency.
     let (a, b) = (normal.total_cold_starts(), cata.total_cold_starts());
@@ -172,8 +172,8 @@ fn policy_objectives_trade_memory_for_latency() {
         idle_period: SimDuration::from_secs(15),
         ..Default::default()
     });
-    let rt = Platform::new(tight, suite()).run(&t);
-    let rl = Platform::new(loose, suite()).run(&t);
+    let rt = Platform::new(tight, suite()).run(&t).report;
+    let rl = Platform::new(loose, suite()).run(&t).report;
     assert!(
         rt.mem_mean_bytes <= rl.mem_mean_bytes * 1.05,
         "tight {} vs loose {}",

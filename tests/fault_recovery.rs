@@ -82,7 +82,7 @@ fn run_with(plan: &FaultPlan) -> RunReport {
     let (suite, trace) = pressured_trace(600);
     let mut cfg = pressured_config();
     cfg.faults = plan.clone();
-    Platform::new(cfg, suite).run(&trace)
+    Platform::new(cfg, suite).run(&trace).report
 }
 
 #[test]
@@ -134,7 +134,7 @@ fn chaos_run_is_bit_identical_across_executions() {
 fn empty_plan_matches_fault_free_run_exactly() {
     let clean = run_with(&FaultPlan::default());
     let (suite, trace) = pressured_trace(600);
-    let baseline = Platform::new(pressured_config(), suite).run(&trace);
+    let baseline = Platform::new(pressured_config(), suite).run(&trace).report;
     assert_eq!(
         clean, baseline,
         "an empty fault plan must be a provable no-op"

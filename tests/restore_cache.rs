@@ -41,14 +41,14 @@ fn local_base_restore_beats_remote() {
         cfg.read_path = read_path;
         let base = image("LocalFn", cfg.mem_scale, 1);
         let target = image("LocalFn", cfg.mem_scale, 2);
-        let mut registry = FingerprintRegistry::new();
+        let registry = FingerprintRegistry::new();
         let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
-        index_base_sandbox(&cfg, &mut registry, NodeId(0), SandboxId(1), &base);
+        index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
         let b = Arc::clone(&base);
         let resolver = move |id: SandboxId| (id == SandboxId(1)).then(|| (Arc::clone(&b), FnId(0)));
         let outcome = dedup_op(
             &cfg,
-            &mut registry,
+            &registry,
             &mut fabric,
             NodeId(1),
             FnId(0),
@@ -125,7 +125,7 @@ fn run_cached(plan: &FaultPlan) -> RunReport {
     let (suite, trace) = pressured_trace(600);
     let mut cfg = cached_config(32 << 20);
     cfg.faults = plan.clone();
-    Platform::new(cfg, suite).run(&trace)
+    Platform::new(cfg, suite).run(&trace).report
 }
 
 /// Repeat restores on the same node must be served from the cache, and
