@@ -5,11 +5,17 @@
 //! experiments all [--quick]
 //! experiments list
 //! experiments trace summarize <trace.jsonl> [--top <n>]
+//! experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]
 //! ```
 //!
 //! `--obs` turns on the `medes-obs` tracing layer: every platform run
 //! also exports a JSONL span trace into the results directory, which
-//! `trace summarize` renders as a per-phase latency breakdown.
+//! `trace summarize` renders as a per-phase latency breakdown and
+//! `trace analyze` reconstructs into causal trees — critical paths,
+//! per-phase self times, anomalous ops, and a folded-stacks file
+//! (`<trace>.folded` by default) for flamegraph rendering.
+//! `--sample <n>` keeps only one in `n` trace trees (deterministic
+//! head sampling; SLO accounting still sees every request).
 //!
 //! `--faults` injects a deterministic fault plan (node crashes, RDMA
 //! link-fault windows, RPC drops) into every cluster run, synthesized
@@ -29,13 +35,13 @@
 //! rejected up front instead of mutating config fields ad hoc.
 
 use medes_bench::common::{ExpConfig, FaultSpec};
-use medes_bench::{experiments, summarize};
+use medes_bench::{analyze, experiments, summarize};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\nids: {}",
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\nids: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -77,11 +83,67 @@ fn run_summarize(args: &[String]) {
     }
 }
 
+/// `trace analyze <file.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]`.
+fn run_analyze(args: &[String]) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut top = 10usize;
+    let mut anomaly_k = 2.0f64;
+    let mut folded_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                top = n;
+            }
+            "--anomaly-k" => {
+                let Some(k) = it.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                anomaly_k = k;
+            }
+            "--folded" => {
+                let Some(p) = it.next() else { usage() };
+                folded_path = Some(PathBuf::from(p));
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+    for path in files {
+        let contents = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let (report, folded) = analyze::analyze(&name, &contents, anomaly_k, top);
+        println!("{}", report.text());
+        let out = folded_path
+            .clone()
+            .unwrap_or_else(|| path.with_extension("folded"));
+        match std::fs::write(&out, &folded) {
+            Ok(()) => println!("folded stacks -> {}", out.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", out.display()),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         match args.get(1).map(String::as_str) {
             Some("summarize") => return run_summarize(&args[2..]),
+            Some("analyze") => return run_analyze(&args[2..]),
             _ => usage(),
         }
     }
@@ -92,6 +154,12 @@ fn main() {
         match a.as_str() {
             "--quick" => cfg.quick = true,
             "--obs" => cfg.obs = true,
+            "--sample" => {
+                let Some(n) = it.next().and_then(|s| s.parse::<u64>().ok()) else {
+                    usage();
+                };
+                cfg.sample = Some(n);
+            }
             "--results" => {
                 if let Some(dir) = it.next() {
                     cfg.results_dir = PathBuf::from(dir);

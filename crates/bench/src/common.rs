@@ -52,6 +52,11 @@ pub struct ExpConfig {
     /// Enable the `medes-obs` tracing layer (`--obs`): platform runs
     /// export a JSONL span trace to `<results_dir>/trace-<n>.jsonl`.
     pub obs: bool,
+    /// Optional head-sampling rate (`--sample <n>`, with `--obs`):
+    /// keep one in `n` trace trees, decided deterministically at the
+    /// trace root so whole trees are kept or dropped together. SLO
+    /// accounting is unaffected — it sees every request.
+    pub sample: Option<u64>,
     /// Optional fault injection (`--faults`): synthesized into a
     /// [`FaultPlan`] by [`ExpConfig::platform`]. `None` keeps every
     /// experiment byte-identical to the fault-free build.
@@ -75,6 +80,7 @@ impl ExpConfig {
             quick: false,
             results_dir: PathBuf::from("results"),
             obs: false,
+            sample: None,
             faults: None,
             cache: None,
             pipeline: None,
@@ -202,7 +208,11 @@ impl ExpConfig {
             .node_mem_bytes(192 << 20)
             .nodes(nodes);
         if self.obs {
-            b = b.obs(medes_obs::ObsConfig::enabled().export_to(self.results_dir.clone()));
+            let mut oc = medes_obs::ObsConfig::enabled().export_to(self.results_dir.clone());
+            if let Some(n) = self.sample {
+                oc = oc.sampled(n);
+            }
+            b = b.obs(oc);
         }
         if let Some(spec) = &self.faults {
             b = b.faults(FaultPlan::synthesize(
@@ -332,6 +342,18 @@ mod tests {
         let rp = cfg.platform().read_path;
         assert!(rp.coalesce);
         assert_eq!(rp.page_cache_bytes, 64 << 20);
+    }
+
+    #[test]
+    fn sample_flag_requires_obs_and_sets_rate() {
+        let mut cfg = ExpConfig::quick();
+        cfg.sample = Some(8);
+        // Without --obs the sampling knob is inert (tracing is off).
+        assert!(!cfg.platform().obs.enabled);
+        cfg.obs = true;
+        let obs = cfg.platform().obs;
+        assert!(obs.enabled);
+        assert_eq!(obs.sample_one_in, 8);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod obs_overhead;
 pub mod overheads;
 pub mod pipeline;
 pub mod table2;
@@ -41,6 +42,7 @@ pub const ALL: &[&str] = &[
     "fig15",
     "fig16",
     "overheads",
+    "obs-overhead",
     "chaos",
     "cache",
     "pipeline",
@@ -65,6 +67,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "fig15" => fig15::run(cfg),
         "fig16" => fig16::run(cfg),
         "overheads" => overheads::run(cfg),
+        "obs-overhead" => obs_overhead::run(cfg),
         "chaos" => chaos::run(cfg),
         "cache" => cache::run(cfg),
         "pipeline" => pipeline::run(cfg),

@@ -1,0 +1,178 @@
+//! `obs-overhead` — cost and invariants of the observability layer.
+//!
+//! Three claims, each checked by assertion (the experiment fails loudly
+//! rather than printing a wrong number):
+//!
+//! 1. **Observation never perturbs the simulation.** The same workload
+//!    run with tracing disabled, fully enabled, and head-sampled must
+//!    produce an identical [`RunReport`] — spans and SLO accounting are
+//!    read-only taps on the event loop.
+//! 2. **Traces reconstruct.** The enabled run's causal forest must
+//!    contain request trees whose per-node self times sum exactly to
+//!    the root duration (phase spans tile their parents), and a valid
+//!    Prometheus exposition.
+//! 3. **The cost is bounded.** Best-of-3 wall time with tracing on is
+//!    compared against tracing off; the overhead must stay under a
+//!    deliberately generous bound (the point is to catch accidental
+//!    O(n²) regressions, not to benchmark the tracer).
+
+use crate::analyze::{tree_self_sum, Forest};
+use crate::common::{run as run_platform, run_outcome, ExpConfig};
+use crate::report::{f, Report};
+use medes_core::config::{PlatformConfig, PolicyKind};
+use medes_obs::{parse_jsonl, ObsConfig};
+use medes_policy::medes::Objective;
+use std::time::Instant;
+
+/// Generous wall-time overhead ceiling for the enabled tracer, as a
+/// fraction of the disabled run (3.0 = +300%). Typical measured cost
+/// is well under 50%; the bound only guards against blowups.
+const MAX_OVERHEAD_FRAC: f64 = 3.0;
+
+fn best_of_3(cfg: &PlatformConfig, exp: &ExpConfig) -> (medes_core::metrics::RunReport, f64) {
+    let suite = exp.suite();
+    let trace = exp.full_trace(&suite);
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = run_platform(cfg.clone(), &suite, &trace);
+        best = best.min(t0.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    (report.expect("ran 3 times"), best)
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let mut report = Report::new(
+        "obs-overhead",
+        "observability layer overhead and invariants",
+    );
+    let suite = cfg.suite();
+    let trace = cfg.full_trace(&suite);
+    let mut base = cfg.platform();
+    base.obs = ObsConfig::default(); // tracing strictly off, whatever the harness flags say
+    base.policy = PolicyKind::Medes(cfg.medes_policy(Objective::LatencyTarget { alpha: 2.5 }));
+    // Raise the span cap so the tree checks below are not confounded
+    // by ring-buffer eviction (the default cap is sized for smoke runs).
+    let mut obs_on = ObsConfig::enabled();
+    obs_on.span_buffer_cap = 1 << 21;
+    let traced = {
+        let mut c = base.clone();
+        c.obs = obs_on.clone();
+        c
+    };
+    let sampled = {
+        let mut c = base.clone();
+        c.obs = obs_on.sampled(4);
+        c
+    };
+
+    // Claim 1: byte-identical reports across disabled / enabled / sampled.
+    let (plain, wall_off) = best_of_3(&base, cfg);
+    let (with_obs, wall_on) = best_of_3(&traced, cfg);
+    assert_eq!(
+        plain, with_obs,
+        "enabling the tracer changed the simulation"
+    );
+    let sampled_out = run_outcome(sampled, &suite, &trace);
+    assert_eq!(
+        plain, sampled_out.report,
+        "head sampling changed the simulation"
+    );
+    report.section("determinism");
+    report.line(&format!(
+        "disabled, enabled and 1-in-4 sampled runs produced identical reports \
+         ({} requests, {} dedups)",
+        plain.requests.len(),
+        plain.sandboxes_deduped
+    ));
+
+    // Claim 2: the enabled trace reconstructs into exact trees.
+    let outcome = run_outcome(traced, &suite, &trace);
+    let jsonl = outcome.obs.export_jsonl();
+    let spans = parse_jsonl(&jsonl);
+    let forest = Forest::build(&spans);
+    let request_roots: Vec<usize> = forest
+        .trees
+        .iter()
+        .flat_map(|t| t.roots.iter().copied())
+        .filter(|&r| spans[r].name == "medes.platform.request")
+        .collect();
+    assert!(
+        !request_roots.is_empty(),
+        "no request trees reconstructed from {} spans",
+        spans.len()
+    );
+    let exact = request_roots
+        .iter()
+        .filter(|&&r| tree_self_sum(&forest, &spans, r) == spans[r].dur_us())
+        .count();
+    assert!(
+        exact > 0,
+        "no request tree's self times sum to its root duration"
+    );
+    let sampled_spans = parse_jsonl(&sampled_out.obs.export_jsonl());
+    assert!(
+        sampled_spans.len() < spans.len(),
+        "1-in-4 sampling did not shrink the trace"
+    );
+    let prom = outcome.obs.export_prometheus();
+    assert!(
+        prom.contains("medes_slo_startup_us") && prom.contains("# TYPE"),
+        "Prometheus exposition missing SLO series"
+    );
+    report.section("trace reconstruction");
+    report.line(&format!(
+        "{} spans -> {} trees; {} request trees, {} with self-time sum == root duration",
+        spans.len(),
+        forest.trees.len(),
+        request_roots.len(),
+        exact
+    ));
+    report.line(&format!(
+        "1-in-4 head sampling kept {} of {} spans; SLO summary covers {} functions either way",
+        sampled_spans.len(),
+        spans.len(),
+        sampled_out.slo.len()
+    ));
+
+    // Claim 3: bounded wall-time cost.
+    let overhead = wall_on / wall_off - 1.0;
+    assert!(
+        overhead < MAX_OVERHEAD_FRAC,
+        "tracing overhead {:.0}% exceeds the {:.0}% ceiling",
+        overhead * 100.0,
+        MAX_OVERHEAD_FRAC * 100.0
+    );
+    report.section("wall-time overhead (best of 3)");
+    let rows = vec![
+        vec!["disabled".to_string(), f(wall_off, 3), "-".to_string()],
+        vec![
+            "enabled".to_string(),
+            f(wall_on, 3),
+            format!("{:+.1}%", overhead * 100.0),
+        ],
+    ];
+    report.table(&["tracing", "wall (s)", "overhead"], &rows);
+    report.line(&format!(
+        "ceiling: +{:.0}% (guard against regressions, not a benchmark)",
+        MAX_OVERHEAD_FRAC * 100.0
+    ));
+    report.json_set(
+        "summary",
+        medes_obs::json!({
+            "wall_off_s": wall_off,
+            "wall_on_s": wall_on,
+            "overhead_frac": overhead,
+            "spans": spans.len(),
+            "trees": forest.trees.len(),
+            "request_trees": request_roots.len(),
+            "exact_trees": exact,
+            "sampled_spans": sampled_spans.len(),
+            "slo_functions": sampled_out.slo.len(),
+        }),
+    );
+    report
+}

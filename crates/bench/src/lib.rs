@@ -20,11 +20,16 @@
 //!
 //! `trace summarize <trace.jsonl>` renders the per-phase latency
 //! breakdown of a JSONL span trace exported by `medes-obs` (run any
-//! experiment with `--obs` to produce one).
+//! experiment with `--obs` to produce one). `trace analyze` goes a
+//! step further: it rebuilds each operation's causal tree from the
+//! `trace_id`/`parent_id` fields, prints critical paths and per-phase
+//! self times, flags anomalous ops, and writes a folded-stacks file
+//! for flamegraph rendering (see [`analyze`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod common;
 pub mod experiments;
 pub mod harness;

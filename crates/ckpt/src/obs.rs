@@ -5,8 +5,8 @@
 //! through these helpers so checkpoint/restore timing shows up in the
 //! metrics snapshot of an obs-enabled run.
 
-use medes_obs::Obs;
-use medes_sim::SimDuration;
+use medes_obs::{Obs, TraceCtx};
+use medes_sim::{SimDuration, SimTime};
 
 /// Records one sandbox checkpoint: op counter, dumped paper-scale
 /// bytes, and a duration histogram (`medes.ckpt.checkpoint_us`).
@@ -27,6 +27,47 @@ pub fn record_restore(obs: &Obs, took: SimDuration) {
     }
     obs.incr("medes.ckpt.restores");
     obs.record_us("medes.ckpt.restore_us", took);
+}
+
+/// Causal variant of [`record_checkpoint`]: additionally emits a
+/// `medes.ckpt.checkpoint` span covering `[start, start + took)` as a
+/// child of `parent` (the dedup op's checkpoint phase), so the memory
+/// dump shows up inside the reconstructed trace tree.
+pub fn record_checkpoint_in(
+    obs: &Obs,
+    parent: TraceCtx,
+    start: SimTime,
+    paper_bytes: usize,
+    took: SimDuration,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.span_in(
+        "medes.ckpt.checkpoint",
+        start,
+        parent.child("medes.ckpt.checkpoint", 0),
+    )
+    .attr("paper_bytes", paper_bytes)
+    .end(start + took);
+    record_checkpoint(obs, paper_bytes, took);
+}
+
+/// Causal variant of [`record_restore`]: additionally emits a
+/// `medes.ckpt.restore` span covering `[start, start + took)` as a
+/// child of `parent` (the restore op's checkpoint phase), so the CRIU
+/// resume shows up inside the reconstructed trace tree.
+pub fn record_restore_in(obs: &Obs, parent: TraceCtx, start: SimTime, took: SimDuration) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.span_in(
+        "medes.ckpt.restore",
+        start,
+        parent.child("medes.ckpt.restore", 0),
+    )
+    .end(start + took);
+    record_restore(obs, took);
 }
 
 #[cfg(test)]
@@ -54,6 +95,32 @@ mod tests {
         let obs = Obs::disabled();
         record_checkpoint(&obs, 4096, SimDuration::from_millis(120));
         record_restore(&obs, SimDuration::from_millis(140));
+        record_restore_in(
+            &obs,
+            TraceCtx::NONE,
+            medes_sim::SimTime::ZERO,
+            SimDuration::from_millis(140),
+        );
         assert!(obs.metrics_snapshot().is_empty());
+        assert_eq!(obs.span_count(), 0);
+    }
+
+    #[test]
+    fn causal_variants_emit_child_spans() {
+        let obs = Obs::new(ObsConfig::enabled());
+        let root = obs.trace_root("dedup", 1, 2);
+        let start = medes_sim::SimTime::from_micros(50);
+        record_checkpoint_in(&obs, root, start, 4096, SimDuration::from_millis(120));
+        record_restore_in(&obs, root, start, SimDuration::from_millis(140));
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "medes.ckpt.checkpoint");
+        assert_eq!(spans[0].parent_id, root.span_id);
+        assert_eq!(spans[0].start_us, 50);
+        assert_eq!(spans[0].dur_us(), 120_000);
+        assert_eq!(spans[1].name, "medes.ckpt.restore");
+        assert_eq!(spans[1].trace_id, root.trace_id);
+        assert_eq!(obs.counter("medes.ckpt.checkpoints"), 1);
+        assert_eq!(obs.counter("medes.ckpt.restores"), 1);
     }
 }

@@ -21,7 +21,7 @@ use medes_delta::{encode, EncodeConfig};
 use medes_hash::sample::page_fingerprint;
 use medes_mem::{MemoryImage, PAGE_SIZE};
 use medes_net::{Fabric, NetError};
-use medes_obs::Obs;
+use medes_obs::{Obs, TraceCtx};
 use medes_sim::{SimDuration, SimTime};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -45,25 +45,52 @@ impl DedupTiming {
         self.checkpoint + self.lookup + self.base_read + self.patch_compute
     }
 
+    /// The dedup op's context under `parent` — minted before the op
+    /// runs (to parent fabric retry spans) and re-derived identically
+    /// by [`DedupTiming::record`] afterwards.
+    pub fn op_ctx(parent: TraceCtx) -> TraceCtx {
+        parent.child("medes.dedup.op", 0)
+    }
+
     /// Emits the per-phase spans (`medes.dedup.*`) for one dedup op
     /// that started at `start`, plus duration histograms and the
     /// `medes.ckpt` checkpoint metrics (`ckpt_paper_bytes` is the
     /// paper-scale dump size). Phases are laid end-to-end in execution
     /// order (checkpoint → fingerprint lookup → base read → patch
     /// compute), so span durations sum to [`DedupTiming::total`].
-    pub fn record(&self, obs: &Obs, start: SimTime, fn_name: &str, ckpt_paper_bytes: usize) {
+    ///
+    /// `parent` is the causal context of the enclosing operation (a
+    /// dedup trace root, or the batch span's context on the pipelined
+    /// path); [`TraceCtx::NONE`] records a flat, untraced breakdown.
+    pub fn record(
+        &self,
+        obs: &Obs,
+        start: SimTime,
+        fn_name: &str,
+        ckpt_paper_bytes: usize,
+        parent: TraceCtx,
+    ) {
         if !obs.enabled() {
             return;
         }
+        let op = Self::op_ctx(parent);
         let t1 = start + self.checkpoint;
         let t2 = t1 + self.lookup;
         let t3 = t2 + self.base_read;
         let t4 = t3 + self.patch_compute;
-        obs.span("medes.dedup.checkpoint", start).end(t1);
-        obs.span("medes.dedup.lookup", t1).end(t2);
-        obs.span("medes.dedup.base_read", t2).end(t3);
-        obs.span("medes.dedup.patch", t3).end(t4);
-        obs.span("medes.dedup.op", start)
+        let ckpt = op.child("medes.dedup.checkpoint", 0);
+        obs.span_in("medes.dedup.checkpoint", start, ckpt).end(t1);
+        obs.span_in("medes.dedup.lookup", t1, op.child("medes.dedup.lookup", 0))
+            .end(t2);
+        obs.span_in(
+            "medes.dedup.base_read",
+            t2,
+            op.child("medes.dedup.base_read", 0),
+        )
+        .end(t3);
+        obs.span_in("medes.dedup.patch", t3, op.child("medes.dedup.patch", 0))
+            .end(t4);
+        obs.span_in("medes.dedup.op", start, op)
             .attr("fn", fn_name.to_string())
             .end(t4);
         obs.incr("medes.dedup.ops");
@@ -72,7 +99,7 @@ impl DedupTiming {
         obs.record_us("medes.dedup.base_read_us", self.base_read);
         obs.record_us("medes.dedup.patch_us", self.patch_compute);
         obs.record_us("medes.dedup.op_us", self.total());
-        medes_ckpt::obs::record_checkpoint(obs, ckpt_paper_bytes, self.checkpoint);
+        medes_ckpt::obs::record_checkpoint_in(obs, ckpt, start, ckpt_paper_bytes, self.checkpoint);
     }
 }
 

@@ -5,7 +5,7 @@
 //! plus latency histograms, so an obs-enabled run yields a JSONL trace
 //! whose aggregates match the [`RunReport`] exactly.
 
-use medes_obs::Obs;
+use medes_obs::{Obs, TraceCtx};
 use medes_sim::stats::Percentiles;
 use medes_sim::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -285,7 +285,15 @@ impl MetricsCollector {
 
     /// Records one completed request: appends it to the report and
     /// mirrors it as a `medes.platform.request` span + histograms.
-    pub fn push_request(&mut self, rec: RequestRecord) {
+    ///
+    /// `ctx` is the request's trace root (the span carries its ids, so
+    /// restore/dedup phase spans minted from the same root link under
+    /// it); pass [`TraceCtx::NONE`] for a flat record. `bound_us` is
+    /// the SLO bound in effect (`α · s_W`; 0 = none) — the startup
+    /// latency is checked against it in the per-function
+    /// [`medes_obs::SloTracker`]. SLO samples are never head-sampled
+    /// away: quantiles stay exact even when span sampling is on.
+    pub fn push_request(&mut self, rec: RequestRecord, ctx: TraceCtx, bound_us: u64) {
         if self.obs.enabled() {
             let start_type = match rec.start {
                 StartType::Warm => "warm",
@@ -299,10 +307,12 @@ impl MetricsCollector {
                 .map(|s| s.as_str())
                 .unwrap_or("?")
                 .to_string();
+            self.obs.slo_record(&fn_name, rec.startup_us, bound_us);
             self.obs
-                .span(
+                .span_in(
                     "medes.platform.request",
                     SimTime::from_micros(rec.arrival_us),
+                    ctx,
                 )
                 .attr("id", rec.id)
                 .attr("fn", fn_name)
@@ -317,6 +327,8 @@ impl MetricsCollector {
             });
             self.obs.record("medes.platform.e2e_us", rec.e2e_us);
             self.obs.record("medes.platform.startup_us", rec.startup_us);
+            self.obs
+                .gauge_set("medes.slo.violations", self.obs.slo_violations() as f64);
         }
         self.report.requests.push(rec);
     }

@@ -23,14 +23,14 @@
 use crate::config::{PlatformConfig, PolicyKind};
 use crate::controller::{FunctionRuntime, QueuedRequest};
 use crate::dedup::{
-    dedup_commit, dedup_op, dedup_scan, index_base_sandbox, DedupOutcome, DedupScan,
+    dedup_commit, dedup_op, dedup_scan, index_base_sandbox, DedupOutcome, DedupScan, DedupTiming,
 };
 use crate::ids::{FnId, NodeId, SandboxId};
 use crate::images::ImageFactory;
 use crate::metrics::{FnDedupStats, MetricsCollector, RequestRecord, RunReport, StartType};
 use crate::pagecache::BasePageCache;
 use crate::registry::FingerprintRegistry;
-use crate::restore::restore_op_cached;
+use crate::restore::{restore_op_cached, RestoreTiming};
 use crate::sandbox::{Sandbox, SandboxState};
 use medes_mem::MemoryImage;
 use medes_net::Fabric;
@@ -121,7 +121,8 @@ impl Platform {
             Ok(None) => {}
             Err(e) => eprintln!("warning: failed to write obs trace: {e}"),
         }
-        RunOutcome { report, obs }
+        let slo = obs.slo_summary();
+        RunOutcome { report, obs, slo }
     }
 }
 
@@ -134,6 +135,9 @@ pub struct RunOutcome {
     pub report: RunReport,
     /// The run's observability handle (spans, counters, histograms).
     pub obs: Arc<Obs>,
+    /// Per-function SLO summaries (paper §5.2: startup latency against
+    /// the `α · s_W` bound). Empty when observability is disabled.
+    pub slo: Vec<medes_obs::FnSloSummary>,
 }
 
 /// A request travelling through dispatch.
@@ -564,6 +568,22 @@ impl Cluster {
         Some(f)
     }
 
+    /// The §5.2 SLO bound for one function: `α · s_W` microseconds
+    /// under the Medes latency-target objective (P1 promises average
+    /// startup latency stays within `α` of a warm start), 0 — no bound
+    /// — under memory-budget objectives and non-Medes policies.
+    fn slo_bound_us(&self, func: usize) -> u64 {
+        match &self.medes {
+            Some(m) => match m.objective {
+                Objective::LatencyTarget { alpha } => {
+                    (alpha * self.fns[func].profile.warm_start().as_micros() as f64) as u64
+                }
+                Objective::MemoryBudget { .. } => 0,
+            },
+            None => 0,
+        }
+    }
+
     fn keep_alive_window(&self, func: usize) -> SimDuration {
         if let Some(f) = &self.fixed_ka {
             f.keep_alive(func)
@@ -641,6 +661,15 @@ impl Cluster {
                 };
                 let cache_on = self.cache_enabled();
                 let cache_before = self.caches[node.0].used_paper_bytes();
+                // The request's trace root is a pure function of
+                // (seed, request id), so the identical context is
+                // re-minted at ExecDone for the request span — no
+                // state threading through events. Fabric retries
+                // during the base read parent under the base-read
+                // phase span the op will emit afterwards.
+                let root = self.obs.trace_root("request", self.cfg.seed, req.id);
+                let op_ctx = RestoreTiming::op_ctx(root);
+                self.fabric.set_ctx(RestoreTiming::base_read_ctx(op_ctx));
                 let restored = {
                     let bases = &self.bases;
                     let cache = if cache_on {
@@ -658,6 +687,7 @@ impl Cluster {
                         verify.as_deref(),
                     )
                 };
+                self.fabric.clear_ctx();
                 if cache_on {
                     // Charge freshly cached pages to node memory, and
                     // trim the cache back if that pushed the node over
@@ -676,12 +706,18 @@ impl Cluster {
                     Ok(outcome) => {
                         outcome
                             .timing
-                            .record(&self.obs, now, &self.fns[f].profile.name);
+                            .record(&self.obs, now, &self.fns[f].profile.name, root);
                         if self.cfg.read_path.active() && self.obs.enabled() {
                             // The cache span covers the base-read phase
-                            // it accelerates.
+                            // it accelerates, and sits under it in the
+                            // trace tree.
+                            let base_read = RestoreTiming::base_read_ctx(op_ctx);
                             self.obs
-                                .span("medes.restore.cache", now)
+                                .span_in(
+                                    "medes.restore.cache",
+                                    now,
+                                    base_read.child("medes.restore.cache", 0),
+                                )
                                 .attr("hits", outcome.cache_hits)
                                 .attr("misses", outcome.cache_misses)
                                 .end(now + outcome.timing.base_read);
@@ -806,6 +842,13 @@ impl Cluster {
     // Medes: dedup decision at idle-period expiry.
     // ------------------------------------------------------------------
 
+    /// Trace-root key for one dedup op: a deterministic mix of the
+    /// sandbox id and the initiation instant (a sandbox can dedup more
+    /// than once, so the id alone would merge distinct ops' traces).
+    fn dedup_trace_key(&self, id: SandboxId, now: SimTime) -> u64 {
+        (id.0 ^ 0xD6E8_FEB8_6659_FD93).wrapping_mul(0x2545_F491_4F6C_DD1D) ^ now.as_micros()
+    }
+
     fn idle_check(&mut self, id: SandboxId, epoch: u64, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         let Some(medes) = self.medes.clone() else {
@@ -878,8 +921,15 @@ impl Cluster {
             return;
         }
         let image = self.factory.image(func, seed);
+        // A sandbox can dedup more than once over its life, so the
+        // dedup trace root is keyed by (sandbox id, initiation time) —
+        // both deterministic, so replays mint identical trees.
+        let droot = self
+            .obs
+            .trace_root("dedup", self.cfg.seed, self.dedup_trace_key(id, now));
+        self.fabric.set_ctx(DedupTiming::op_ctx(droot));
         let bases = &self.bases;
-        let outcome = match dedup_op(
+        let result = dedup_op(
             &self.cfg,
             &self.registry,
             &mut self.fabric,
@@ -887,7 +937,9 @@ impl Cluster {
             func,
             &image,
             &|bid| bases.get(&bid).map(|(bf, img)| (Arc::clone(img), *bf)),
-        ) {
+        );
+        self.fabric.clear_ctx();
+        let outcome = match result {
             Ok(o) => o,
             Err(_) => {
                 // Fault-injected failure (controller RPC or base reads
@@ -916,6 +968,7 @@ impl Cluster {
             now,
             &self.fns[f].profile.name,
             self.cfg.to_paper_bytes(image.total_bytes()),
+            droot,
         );
         // Pin the referenced bases *now*: the dedup table already points
         // into them, and they must survive until DedupDone commits (or
@@ -1039,13 +1092,20 @@ impl Cluster {
         for (item, scan) in items.into_iter().zip(scans) {
             let scan = scan.expect("every batch slot is filled");
             let f = item.func.0;
-            match dedup_commit(&self.cfg, &mut self.fabric, item.node, scan) {
+            let droot =
+                self.obs
+                    .trace_root("dedup", self.cfg.seed, self.dedup_trace_key(item.id, now));
+            self.fabric.set_ctx(DedupTiming::op_ctx(droot));
+            let committed = dedup_commit(&self.cfg, &mut self.fabric, item.node, scan);
+            self.fabric.clear_ctx();
+            match committed {
                 Ok(outcome) => {
                     outcome.timing.record(
                         &self.obs,
                         now,
                         &self.fns[f].profile.name,
                         self.cfg.to_paper_bytes(item.image.total_bytes()),
+                        droot,
                     );
                     // Pin the referenced bases *now*: the dedup table
                     // already points into them, and they must survive
@@ -1327,7 +1387,12 @@ impl World for Cluster {
                     return;
                 }
                 rec.e2e_us = now.since(SimTime::from_micros(rec.arrival_us)).as_micros();
-                self.metrics.push_request(rec);
+                // Same (seed, request id) → same ids as the context the
+                // dispatcher minted for the restore op, so the request
+                // span becomes the root of that tree.
+                let root = self.obs.trace_root("request", self.cfg.seed, rec.id);
+                let bound_us = self.slo_bound_us(rec.func);
+                self.metrics.push_request(rec, root, bound_us);
                 let sb = self.sandboxes.get_mut(&id).expect("running sandbox exists");
                 sb.transition(SandboxState::Warm);
                 sb.last_used = now;
@@ -1671,5 +1736,108 @@ mod tests {
         assert!(!report.requests.is_empty());
         assert_eq!(obs.span_count(), 0);
         assert!(obs.metrics_snapshot().is_empty());
+        assert!(outcome.slo.is_empty());
+    }
+
+    /// Tentpole: every restore op links under the request span minted
+    /// from the same `(seed, request id)` root, its phase spans tile it
+    /// exactly, and the checkpoint-resume span nests under the ckpt
+    /// phase — the tree `trace analyze` reconstructs.
+    #[test]
+    fn causal_tree_links_restores_under_request_roots() {
+        let (suite, trace) = small_trace(600, 10.0);
+        let mut cfg = PlatformConfig::small_test();
+        cfg.obs = medes_obs::ObsConfig::enabled();
+        cfg.obs.span_buffer_cap = 1 << 20;
+        if let PolicyKind::Medes(m) = &mut cfg.policy {
+            m.idle_period = SimDuration::from_secs(5);
+            m.objective = medes_policy::medes::Objective::MemoryBudget {
+                budget_bytes: 100e6,
+            };
+        }
+        let outcome = Platform::new(cfg, suite).run(&trace);
+        let spans = outcome.obs.spans();
+        let by_id: HashMap<u64, &medes_obs::SpanRecord> = spans
+            .iter()
+            .filter(|s| s.span_id != 0)
+            .map(|s| (s.span_id, s))
+            .collect();
+        let ops: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "medes.restore.op")
+            .collect();
+        assert!(!ops.is_empty(), "run must contain restores");
+        for op in &ops {
+            assert_ne!(op.trace_id, 0, "restore ops are traced");
+            let root = by_id
+                .get(&op.parent_id)
+                .expect("restore op's parent (the request span) was emitted");
+            assert_eq!(root.name, "medes.platform.request");
+            assert_eq!(root.trace_id, op.trace_id);
+            assert_eq!(root.span_id, root.trace_id, "request spans are roots");
+            // The phase children tile the op interval exactly, so
+            // per-node self-times sum to the op duration.
+            let tiled: u64 = spans
+                .iter()
+                .filter(|s| s.parent_id == op.span_id && s.name.starts_with("medes.restore."))
+                .map(|s| s.dur_us())
+                .sum();
+            assert_eq!(tiled, op.dur_us(), "phases tile the restore op");
+            assert!(op.start_us >= root.start_us && op.end_us <= root.end_us);
+        }
+        // The CRIU-resume span nests (exactly) inside the ckpt phase.
+        let resumes: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "medes.ckpt.restore" && s.trace_id != 0)
+            .collect();
+        assert_eq!(resumes.len(), ops.len());
+        for r in &resumes {
+            let ckpt = by_id[&r.parent_id];
+            assert_eq!(ckpt.name, "medes.restore.ckpt");
+            assert_eq!((r.start_us, r.end_us), (ckpt.start_us, ckpt.end_us));
+        }
+        // Dedup ops root their own traces: their parent id is the trace
+        // root the platform minted (no span of its own — `trace
+        // analyze` promotes orphans to roots).
+        let dops: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "medes.dedup.op")
+            .collect();
+        assert!(!dops.is_empty(), "run must contain dedup ops");
+        for d in &dops {
+            assert_ne!(d.trace_id, 0);
+            assert_eq!(d.parent_id, d.trace_id, "dedup op hangs off its root ctx");
+        }
+    }
+
+    /// Tentpole: per-function SLO rows on `RunOutcome` cover every
+    /// request, carry the §5.2 `α·s_W` bound under the latency-target
+    /// objective, and surface in the Prometheus exposition.
+    #[test]
+    fn slo_summary_reflects_latency_target_bounds() {
+        let (suite, trace) = small_trace(120, 2.0);
+        let mut cfg = PlatformConfig::small_test();
+        cfg.obs = medes_obs::ObsConfig::enabled();
+        assert!(matches!(
+            &cfg.policy,
+            PolicyKind::Medes(m) if matches!(m.objective, Objective::LatencyTarget { .. })
+        ));
+        let outcome = Platform::new(cfg, suite).run(&trace);
+        assert!(!outcome.slo.is_empty());
+        let total: u64 = outcome.slo.iter().map(|s| s.count).sum();
+        assert_eq!(total, outcome.report.requests.len() as u64);
+        for row in &outcome.slo {
+            assert!(row.bound_us > 0, "{} must carry an α·s_W bound", row.func);
+            assert!(row.violations <= row.count);
+            assert!(row.p50_us <= row.p99_us);
+        }
+        // Cold starts exceed α·s_W, so a mixed run records violations,
+        // mirrored into the gauge the collector maintains.
+        let violations: u64 = outcome.slo.iter().map(|s| s.violations).sum();
+        assert!(violations > 0, "cold starts must violate the bound");
+        assert_eq!(outcome.obs.slo_violations(), violations);
+        let prom = outcome.obs.export_prometheus();
+        assert!(prom.contains("medes_slo_startup_us"));
+        assert!(prom.contains("medes_slo_violations_total"));
     }
 }

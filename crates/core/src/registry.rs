@@ -328,12 +328,6 @@ impl FingerprintRegistry {
         out
     }
 
-    /// Legacy exclusive-borrow lookup, kept for source compatibility.
-    #[deprecated(since = "0.4.0", note = "use `lookup`, which takes `&self`")]
-    pub fn lookup_mut(&mut self, fp: &PageFingerprint) -> Vec<Candidate> {
-        self.lookup(fp)
-    }
-
     /// Removes every entry contributed by a base sandbox, shard by
     /// shard through the shard-local write locks.
     pub fn remove_sandbox(&self, sandbox: SandboxId) {
@@ -639,19 +633,6 @@ mod tests {
         let fp = page_fingerprint(&random_page(8), &cfg);
         reg.lookup(&fp);
         reg.lookup(&fp);
-        assert_eq!(reg.lookups(), 2);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_lookup_mut_still_works() {
-        let cfg = FingerprintConfig::default();
-        let mut reg = FingerprintRegistry::new();
-        let fp = page_fingerprint(&random_page(8), &cfg);
-        reg.insert_page(&fp, loc(1, 0));
-        let via_mut = reg.lookup_mut(&fp);
-        let via_shared = reg.lookup(&fp);
-        assert_eq!(via_mut, via_shared);
         assert_eq!(reg.lookups(), 2);
     }
 

@@ -17,7 +17,7 @@ use crate::sandbox::{DedupPageTable, PageEntry};
 use medes_delta::apply;
 use medes_mem::{MemoryImage, PAGE_SIZE};
 use medes_net::{Fabric, NetError};
-use medes_obs::Obs;
+use medes_obs::{Obs, TraceCtx};
 use medes_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,23 +39,52 @@ impl RestoreTiming {
         self.base_read + self.page_compute + self.ckpt_restore
     }
 
+    /// The restore op's context under `parent` — the dispatcher mints
+    /// this *before* the op runs (to parent fabric retry spans) and
+    /// [`RestoreTiming::record`] re-derives the identical ids after.
+    pub fn op_ctx(parent: TraceCtx) -> TraceCtx {
+        parent.child("medes.restore.op", 0)
+    }
+
+    /// The base-read phase context under an op minted by
+    /// [`RestoreTiming::op_ctx`] (parents the cache span).
+    pub fn base_read_ctx(op: TraceCtx) -> TraceCtx {
+        op.child("medes.restore.base_read", 0)
+    }
+
     /// Emits the per-phase spans (`medes.restore.*`) for one restore
     /// that started at `start`, plus duration histograms and the
     /// `medes.ckpt` restore metrics. Phases are laid end-to-end in the
     /// order they happen (base read → page compute → checkpoint
     /// restore), so span durations sum to [`RestoreTiming::total`]
     /// exactly — the JSONL trace reproduces the Fig 8 breakdown.
-    pub fn record(&self, obs: &Obs, start: SimTime, fn_name: &str) {
+    ///
+    /// `parent` is the causal context of the enclosing operation
+    /// (usually the request trace root); pass [`TraceCtx::NONE`] for a
+    /// flat, untraced record. The emitted tree is
+    /// `op → {base_read, page_compute, ckpt → medes.ckpt.restore}`
+    /// (the platform attaches the cache span and any fabric retry
+    /// spans under `base_read`), and the phase spans tile the op span
+    /// exactly, so per-node self-times sum to the op duration.
+    pub fn record(&self, obs: &Obs, start: SimTime, fn_name: &str, parent: TraceCtx) {
         if !obs.enabled() {
             return;
         }
+        let op = Self::op_ctx(parent);
         let t1 = start + self.base_read;
         let t2 = t1 + self.page_compute;
         let t3 = t2 + self.ckpt_restore;
-        obs.span("medes.restore.base_read", start).end(t1);
-        obs.span("medes.restore.page_compute", t1).end(t2);
-        obs.span("medes.restore.ckpt", t2).end(t3);
-        obs.span("medes.restore.op", start)
+        obs.span_in("medes.restore.base_read", start, Self::base_read_ctx(op))
+            .end(t1);
+        obs.span_in(
+            "medes.restore.page_compute",
+            t1,
+            op.child("medes.restore.page_compute", 0),
+        )
+        .end(t2);
+        let ckpt = op.child("medes.restore.ckpt", 0);
+        obs.span_in("medes.restore.ckpt", t2, ckpt).end(t3);
+        obs.span_in("medes.restore.op", start, op)
             .attr("fn", fn_name.to_string())
             .end(t3);
         obs.incr("medes.restore.ops");
@@ -63,7 +92,7 @@ impl RestoreTiming {
         obs.record_us("medes.restore.page_compute_us", self.page_compute);
         obs.record_us("medes.restore.ckpt_us", self.ckpt_restore);
         obs.record_us("medes.restore.op_us", self.total());
-        medes_ckpt::obs::record_restore(obs, self.ckpt_restore);
+        medes_ckpt::obs::record_restore_in(obs, ckpt, t2, self.ckpt_restore);
     }
 }
 

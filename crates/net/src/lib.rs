@@ -28,11 +28,23 @@
 //! backoff in **simulated** time, with each failed attempt costing
 //! [`NetConfig::fault_timeout`] — and re-evaluate the schedule at the
 //! accumulated instant, so retries can outlive a fault window.
+//!
+//! ## Causal tracing
+//!
+//! The fabric carries a [`TraceCtx`] the same way it carries the
+//! current simulated time: the caller installs the context of the
+//! surrounding operation with [`Fabric::set_ctx`] before issuing
+//! retried ops, and every **failed attempt** then emits a
+//! `medes.net.retry` span (covering the attempt's detection timeout)
+//! parented under that context — so fault retries show up as children
+//! inside the restore/dedup trace tree they delayed. Timing is never
+//! affected; with no context installed (or obs disabled) no spans are
+//! emitted.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use medes_obs::Obs;
+use medes_obs::{Obs, TraceCtx};
 use medes_sim::fault::FaultSchedule;
 use medes_sim::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -194,6 +206,7 @@ pub struct Fabric {
     obs: Arc<Obs>,
     faults: Option<FaultSchedule>,
     now: SimTime,
+    ctx: TraceCtx,
 }
 
 impl Fabric {
@@ -212,6 +225,7 @@ impl Fabric {
             obs,
             faults: None,
             now: SimTime::ZERO,
+            ctx: TraceCtx::NONE,
         }
     }
 
@@ -229,6 +243,19 @@ impl Fabric {
     /// to evaluate fault windows. A no-op concern without faults.
     pub fn set_now(&mut self, now: SimTime) {
         self.now = now;
+    }
+
+    /// Installs the trace context of the operation about to issue
+    /// fabric ops (mirror of [`Fabric::set_now`]). Failed retry
+    /// attempts emit `medes.net.retry` spans parented under it. Pair
+    /// with [`Fabric::clear_ctx`] when the operation completes.
+    pub fn set_ctx(&mut self, ctx: TraceCtx) {
+        self.ctx = ctx;
+    }
+
+    /// Clears the trace context installed by [`Fabric::set_ctx`].
+    pub fn clear_ctx(&mut self) {
+        self.ctx = TraceCtx::NONE;
     }
 
     /// Number of nodes.
@@ -294,6 +321,31 @@ impl Fabric {
                 NetError::PartialRead { .. } => "medes.net.err.partial_read",
             });
         }
+    }
+
+    /// Emits the `medes.net.retry` span for failed attempt number
+    /// `attempt` (1-based), covering its detection timeout. Purely
+    /// observational: no time accounting, no RNG.
+    fn retry_span(&self, attempt: u32, start: SimTime, err: NetError) {
+        if !self.obs.enabled() || !self.ctx.is_traced() {
+            return;
+        }
+        self.obs
+            .span_in(
+                "medes.net.retry",
+                start,
+                self.ctx.child("medes.net.retry", attempt as u64),
+            )
+            .attr("attempt", attempt)
+            .attr(
+                "error",
+                match err {
+                    NetError::Timeout { .. } => "timeout",
+                    NetError::Unreachable { .. } => "unreachable",
+                    NetError::PartialRead { .. } => "partial_read",
+                },
+            )
+            .end(start + self.cfg.fault_timeout);
     }
 
     /// Cost of a one-sided RDMA read of `bytes` from `src` into `dst`.
@@ -435,7 +487,8 @@ impl Fabric {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
-            match self.rdma_read_batch_at(dst, reads, self.now + elapsed) {
+            let attempt_start = self.now + elapsed;
+            match self.rdma_read_batch_at(dst, reads, attempt_start) {
                 Ok(t) => {
                     return Ok(RetryOutcome {
                         time: elapsed + t,
@@ -444,6 +497,7 @@ impl Fabric {
                     })
                 }
                 Err(e) => {
+                    self.retry_span(attempts, attempt_start, e);
                     elapsed += self.cfg.fault_timeout;
                     if attempts >= policy.max_attempts.max(1) {
                         if self.obs.enabled() {
@@ -541,7 +595,8 @@ impl Fabric {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
-            match self.rpc_at(a, b, req_bytes, resp_bytes, self.now + elapsed) {
+            let attempt_start = self.now + elapsed;
+            match self.rpc_at(a, b, req_bytes, resp_bytes, attempt_start) {
                 Ok(t) => {
                     return Ok(RetryOutcome {
                         time: elapsed + t,
@@ -550,6 +605,7 @@ impl Fabric {
                     })
                 }
                 Err(e) => {
+                    self.retry_span(attempts, attempt_start, e);
                     elapsed += self.cfg.fault_timeout;
                     if attempts >= policy.max_attempts.max(1) {
                         if self.obs.enabled() {
@@ -598,6 +654,7 @@ impl Fabric {
             if self.obs.enabled() {
                 self.obs.incr("medes.net.rpc_dropped");
             }
+            self.retry_span(attempts, at, e);
             elapsed += self.cfg.fault_timeout;
             if attempts >= policy.max_attempts.max(1) {
                 if self.obs.enabled() {
@@ -969,6 +1026,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn retry_spans_parent_under_installed_ctx() {
+        let obs = Obs::new(medes_obs::ObsConfig::enabled());
+        let plan = FaultPlan {
+            crashes: vec![NodeCrash {
+                node: 1,
+                at: SimTime::ZERO,
+                restart: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut f = Fabric::with_obs(4, NetConfig::default(), Arc::clone(&obs));
+        f.set_faults(FaultSchedule::compile(&plan));
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        // Without a context, failures emit no spans.
+        assert!(f.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
+        assert_eq!(obs.span_count(), 0);
+        // With one, every failed attempt becomes a child span covering
+        // its detection timeout.
+        let ctx = obs.trace_root("request", 7, 42);
+        f.set_now(SimTime::from_millis(5));
+        f.set_ctx(ctx);
+        assert!(f.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
+        f.clear_ctx();
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 3);
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(s.name, "medes.net.retry");
+            assert_eq!(s.trace_id, ctx.trace_id);
+            assert_eq!(s.parent_id, ctx.span_id);
+            assert_eq!(
+                s.dur_us(),
+                f.config().fault_timeout.as_micros(),
+                "attempt {i}"
+            );
+        }
+        // First attempt starts at the fabric's current instant.
+        assert_eq!(spans[0].start_us, 5_000);
+        // After clear_ctx, failures are silent again.
+        assert!(f.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
+        assert_eq!(obs.span_count(), 3);
     }
 
     #[test]

@@ -11,12 +11,16 @@
 
 #![warn(missing_docs)]
 
+pub mod ids;
 pub mod json;
 pub mod metrics;
+pub mod slo;
 pub mod span;
 
+pub use ids::TraceCtx;
 pub use json::{Json, JsonMap, ParseError};
 pub use metrics::{LogLinearHistogram, Metric, MetricsRegistry};
+pub use slo::{FnSloSummary, SloTracker};
 pub use span::{AttrValue, ParsedSpan, Span, SpanRecord, Tracer};
 
 use medes_sim::SimTime;
@@ -29,9 +33,22 @@ use std::sync::{Arc, Mutex};
 pub struct ObsConfig {
     /// Master switch. When false every span/metric call is a no-op.
     pub enabled: bool,
-    /// Ring-buffer capacity for spans (oldest dropped when full).
+    /// Ring-buffer capacity for spans. The buffer keeps the most
+    /// recent `span_buffer_cap` finished spans; once full, each new
+    /// span evicts the oldest one and [`Obs::spans_dropped`] counts it
+    /// (exactly — every recorded span is either buffered or counted).
+    /// Traces that lose a span mid-tree are flagged via
+    /// [`Obs::truncated_traces`] instead of exporting as silently
+    /// partial trees.
     pub span_buffer_cap: usize,
-    /// When set, finished runs export `trace-<run_tag>-<n>.jsonl` here.
+    /// Deterministic head-sampling: keep roughly one in `n` causal
+    /// traces (`0` or `1` keeps every trace). The verdict is a pure
+    /// hash of the trace id — no wall clock, no RNG — so the same
+    /// seed always samples the same traces, whole trees at a time.
+    /// Untraced (flat) spans and all metrics ignore sampling.
+    pub sample_one_in: u64,
+    /// When set, finished runs export `trace-<run_tag>-<n>.jsonl` (and
+    /// a Prometheus-style `.prom` exposition) here.
     pub export_dir: Option<PathBuf>,
     /// Tag embedded in exported trace filenames.
     pub run_tag: String,
@@ -42,6 +59,7 @@ impl Default for ObsConfig {
         ObsConfig {
             enabled: false,
             span_buffer_cap: 1 << 16,
+            sample_one_in: 1,
             export_dir: None,
             run_tag: "run".to_string(),
         }
@@ -68,6 +86,13 @@ impl ObsConfig {
         self.run_tag = tag.into();
         self
     }
+
+    /// Keeps roughly one in `n` causal traces (builder style; see
+    /// [`ObsConfig::sample_one_in`]).
+    pub fn sampled(mut self, one_in: u64) -> Self {
+        self.sample_one_in = one_in;
+        self
+    }
 }
 
 /// Distinguishes trace files exported by successive runs within one
@@ -83,6 +108,7 @@ pub struct Obs {
     cfg: ObsConfig,
     tracer: Mutex<Tracer>,
     metrics: Mutex<MetricsRegistry>,
+    slo: Mutex<SloTracker>,
 }
 
 impl Obs {
@@ -93,6 +119,7 @@ impl Obs {
             enabled: cfg.enabled,
             tracer: Mutex::new(Tracer::new(cap)),
             metrics: Mutex::new(MetricsRegistry::new()),
+            slo: Mutex::new(SloTracker::new()),
             cfg,
         })
     }
@@ -113,16 +140,44 @@ impl Obs {
         &self.cfg
     }
 
-    /// Starts a span at `start` (simulated time). Record it with
-    /// [`Span::end`]. No allocation happens while disabled.
+    /// Starts an untraced (flat) span at `start` (simulated time).
+    /// Record it with [`Span::end`]. No allocation happens while
+    /// disabled.
     #[inline]
     pub fn span(&self, name: &'static str, start: SimTime) -> Span<'_> {
+        self.span_in(name, start, TraceCtx::NONE)
+    }
+
+    /// Starts a span at `start` carrying the causal identity `ctx`
+    /// (mint it with [`Obs::trace_root`] / [`TraceCtx::child`]). A
+    /// sampled-out context makes the whole span a no-op.
+    #[inline]
+    pub fn span_in(&self, name: &'static str, start: SimTime, ctx: TraceCtx) -> Span<'_> {
         Span {
             obs: self,
             name,
             start,
+            ctx,
             attrs: Vec::new(),
         }
+    }
+
+    /// Mints the deterministic root [`TraceCtx`] for an operation and
+    /// applies the head-sampling verdict. `(kind, seed, key)` must
+    /// uniquely name the operation within the run; re-minting with the
+    /// same triple (possibly from a different subsystem) returns the
+    /// identical context, sampling verdict included. Returns
+    /// [`TraceCtx::NONE`] when disabled.
+    pub fn trace_root(&self, kind: &str, seed: u64, key: u64) -> TraceCtx {
+        if !self.enabled {
+            return TraceCtx::NONE;
+        }
+        let mut ctx = TraceCtx::root(kind, seed, key);
+        let n = self.cfg.sample_one_in;
+        if n > 1 {
+            ctx.sampled = ids::mix(ctx.trace_id ^ 0x5afe_5afe_5afe_5afe).is_multiple_of(n);
+        }
+        ctx
     }
 
     pub(crate) fn record_span(&self, span: SpanRecord) {
@@ -171,9 +226,37 @@ impl Obs {
         self.tracer.lock().unwrap().len()
     }
 
-    /// Spans evicted due to a full buffer.
+    /// Spans evicted due to a full buffer (exact; see
+    /// [`Tracer::dropped`]).
     pub fn spans_dropped(&self) -> u64 {
         self.tracer.lock().unwrap().dropped()
+    }
+
+    /// Causal traces that lost at least one span to ring-buffer
+    /// eviction (their exported trees are incomplete).
+    pub fn truncated_traces(&self) -> usize {
+        self.tracer.lock().unwrap().truncated_traces()
+    }
+
+    /// Records one per-function SLO latency sample (`bound_us` = the
+    /// §5.2 `α · s_W` bound in effect, 0 = none). Not head-sampled:
+    /// SLO accounting sees every request even when span sampling is
+    /// on.
+    #[inline]
+    pub fn slo_record(&self, func: &str, latency_us: u64, bound_us: u64) {
+        if self.enabled {
+            self.slo.lock().unwrap().record(func, latency_us, bound_us);
+        }
+    }
+
+    /// Name-sorted per-function SLO summaries.
+    pub fn slo_summary(&self) -> Vec<FnSloSummary> {
+        self.slo.lock().unwrap().summary()
+    }
+
+    /// Total SLO violations across all functions.
+    pub fn slo_violations(&self) -> u64 {
+        self.slo.lock().unwrap().total_violations()
     }
 
     /// Copies out all buffered spans, oldest-first (buffer unchanged).
@@ -217,10 +300,100 @@ impl Obs {
         out
     }
 
+    /// Renders all metrics plus the per-function SLO summaries in the
+    /// Prometheus text exposition format (metric names sanitized to
+    /// `[a-zA-Z0-9_:]`, functions as `function="..."` labels,
+    /// histograms as summaries with p50/p95/p99 quantile series).
+    /// Empty when disabled.
+    pub fn export_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        if !self.enabled {
+            return String::new();
+        }
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        fn escape_label(v: &str) -> String {
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::new();
+        for (name, metric) in self.metrics_snapshot() {
+            let n = sanitize(name);
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+                }
+                Metric::Hist(h) => {
+                    let _ = writeln!(out, "# TYPE {n} summary");
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        let v = h.quantile(q).unwrap_or(0.0);
+                        let _ = writeln!(out, "{n}{{quantile=\"{label}\"}} {v}");
+                    }
+                    let _ = writeln!(out, "{n}_sum {}", h.sum());
+                    let _ = writeln!(out, "{n}_count {}", h.count());
+                }
+            }
+        }
+        let slo = self.slo_summary();
+        if !slo.is_empty() {
+            let _ = writeln!(out, "# TYPE medes_slo_startup_us summary");
+            for s in &slo {
+                let f = escape_label(&s.func);
+                for (v, label) in [(s.p50_us, "0.5"), (s.p95_us, "0.95"), (s.p99_us, "0.99")] {
+                    let _ = writeln!(
+                        out,
+                        "medes_slo_startup_us{{function=\"{f}\",quantile=\"{label}\"}} {v}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "medes_slo_startup_us_sum{{function=\"{f}\"}} {}",
+                    s.mean_us * s.count as f64
+                );
+                let _ = writeln!(
+                    out,
+                    "medes_slo_startup_us_count{{function=\"{f}\"}} {}",
+                    s.count
+                );
+            }
+            let _ = writeln!(out, "# TYPE medes_slo_bound_us gauge");
+            for s in &slo {
+                let _ = writeln!(
+                    out,
+                    "medes_slo_bound_us{{function=\"{}\"}} {}",
+                    escape_label(&s.func),
+                    s.bound_us
+                );
+            }
+            let _ = writeln!(out, "# TYPE medes_slo_violations_total counter");
+            for s in &slo {
+                let _ = writeln!(
+                    out,
+                    "medes_slo_violations_total{{function=\"{}\"}} {}",
+                    escape_label(&s.func),
+                    s.violations
+                );
+            }
+        }
+        out
+    }
+
     /// Writes the JSONL export to
-    /// `<export_dir>/trace-<run_tag>-<seq>.jsonl`, creating directories
-    /// as needed. Returns the path written, or `None` when disabled or
-    /// no export dir is configured.
+    /// `<export_dir>/trace-<run_tag>-<seq>.jsonl` (and the Prometheus
+    /// exposition next to it as `.prom`), creating directories as
+    /// needed. Returns the JSONL path written, or `None` when disabled
+    /// or no export dir is configured.
     pub fn write_trace(&self) -> std::io::Result<Option<PathBuf>> {
         if !self.enabled {
             return Ok(None);
@@ -232,6 +405,8 @@ impl Obs {
         let seq = EXPORT_SEQ.fetch_add(1, Ordering::Relaxed);
         let path = dir.join(format!("trace-{}-{seq}.jsonl", self.cfg.run_tag));
         std::fs::write(&path, self.export_jsonl())?;
+        let prom = dir.join(format!("trace-{}-{seq}.prom", self.cfg.run_tag));
+        std::fs::write(&prom, self.export_prometheus())?;
         Ok(Some(path))
     }
 }
@@ -323,6 +498,147 @@ mod tests {
         let tail = text.lines().last().unwrap();
         let v = json::parse(tail).unwrap();
         assert_eq!(v["metrics"]["medes.platform.starts.dedup"], 1);
+    }
+
+    #[test]
+    fn trace_root_is_deterministic_and_links_spans() {
+        let obs = Obs::new(ObsConfig::enabled());
+        let root = obs.trace_root("request", 7, 99);
+        assert!(root.is_traced());
+        assert_eq!(root, obs.trace_root("request", 7, 99));
+        let child = root.child("medes.restore.op", 0);
+        obs.span_in("medes.platform.request", t(0), root).end(t(10));
+        obs.span_in("medes.restore.op", t(0), child).end(t(5));
+        let spans = obs.spans();
+        assert_eq!(spans[0].trace_id, root.trace_id);
+        assert_eq!(spans[0].parent_id, 0);
+        assert_eq!(spans[1].trace_id, root.trace_id);
+        assert_eq!(spans[1].parent_id, root.span_id);
+        // The linkage survives the JSONL round-trip.
+        let parsed = parse_jsonl(&obs.export_jsonl());
+        assert_eq!(parsed[1].parent_id, parsed[0].span_id);
+        assert_eq!(parsed[1].trace_id, parsed[0].trace_id);
+    }
+
+    #[test]
+    fn head_sampling_is_deterministic_and_all_or_nothing() {
+        let cfg = ObsConfig::enabled().sampled(4);
+        let obs = Obs::new(cfg.clone());
+        let mut kept = 0usize;
+        for key in 0..400u64 {
+            let root = obs.trace_root("op", 1, key);
+            obs.span_in("medes.test.root", t(key), root).end(t(key + 1));
+            obs.span_in("medes.test.child", t(key), root.child("c", 0))
+                .end(t(key + 1));
+            if root.sampled {
+                kept += 1;
+            }
+        }
+        // Roughly 1 in 4 kept, and children follow their root exactly.
+        assert!((50..=150).contains(&kept), "kept {kept} of 400");
+        assert_eq!(obs.span_count(), kept * 2);
+        // Same seed/keys → identical verdicts on a fresh handle.
+        let obs2 = Obs::new(cfg);
+        for key in 0..400u64 {
+            assert_eq!(
+                obs2.trace_root("op", 1, key).sampled,
+                obs.trace_root("op", 1, key).sampled
+            );
+        }
+        // Sampling never drops metrics.
+        obs.incr("medes.test.counter");
+        assert_eq!(obs.counter("medes.test.counter"), 1);
+    }
+
+    #[test]
+    fn slo_flows_through_obs_and_prometheus() {
+        let obs = Obs::new(ObsConfig::enabled());
+        obs.slo_record("resnet", 10, 15);
+        obs.slo_record("resnet", 20, 15);
+        obs.incr("medes.platform.starts.warm");
+        obs.record("medes.platform.e2e_us", 123);
+        obs.gauge_set("medes.cluster.mem", 42.0);
+        assert_eq!(obs.slo_violations(), 1);
+        let s = obs.slo_summary();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].count, 2);
+        let prom = obs.export_prometheus();
+        assert!(prom.contains("# TYPE medes_platform_starts_warm counter"));
+        assert!(prom.contains("medes_platform_starts_warm 1"));
+        assert!(prom.contains("# TYPE medes_cluster_mem gauge"));
+        assert!(prom.contains("# TYPE medes_platform_e2e_us summary"));
+        assert!(prom.contains("medes_platform_e2e_us{quantile=\"0.99\"}"));
+        assert!(prom.contains("medes_platform_e2e_us_count 1"));
+        assert!(prom.contains("medes_slo_startup_us{function=\"resnet\",quantile=\"0.5\"}"));
+        assert!(prom.contains("medes_slo_violations_total{function=\"resnet\"} 1"));
+        assert!(prom.contains("medes_slo_bound_us{function=\"resnet\"} 15"));
+        // Disabled handles export nothing and record nothing.
+        let off = Obs::disabled();
+        off.slo_record("resnet", 10, 15);
+        assert!(off.export_prometheus().is_empty());
+        assert!(off.slo_summary().is_empty());
+    }
+
+    /// Satellite: property test — a seeded `DetRng` span forest
+    /// survives `to_json` → `parse_jsonl` exactly, every `AttrValue`
+    /// variant and the causal ids included.
+    #[test]
+    fn jsonl_round_trip_preserves_a_random_span_forest() {
+        use medes_sim::DetRng;
+        let mut rng = DetRng::new(0x0b5f_04e5_7000_0001);
+        let obs = Obs::new(ObsConfig::enabled());
+        let mut expected: Vec<SpanRecord> = Vec::new();
+        const NAMES: [&str; 4] = ["medes.a.root", "medes.b.mid", "medes.c.leaf", "medes.d.x"];
+        for trace in 0..40u64 {
+            let root = obs.trace_root("forest", 3, trace);
+            // A chain of 1..=4 spans, randomly re-parented to simulate
+            // sibling branches.
+            let mut parents = vec![root];
+            let n = 1 + rng.below(4) as usize;
+            for d in 0..n {
+                let parent = parents[rng.below(parents.len() as u64) as usize];
+                let name = NAMES[rng.below(NAMES.len() as u64) as usize];
+                let ctx = parent.child(name, d as u64);
+                parents.push(ctx);
+                let start = rng.below(1 << 40);
+                let end = start + rng.below(1 << 20);
+                let mut span = obs.span_in(name, t(start), ctx);
+                // Every AttrValue variant; uints capped to f64-exact.
+                if rng.chance(0.8) {
+                    span = span.attr("u", rng.below(1 << 53));
+                }
+                if rng.chance(0.8) {
+                    span = span.attr("f", rng.f64());
+                }
+                if rng.chance(0.8) {
+                    let s: String = (0..rng.below(12))
+                        .map(|_| (b'a' + rng.below(26) as u8) as char)
+                        .collect();
+                    span = span.attr("s", s);
+                }
+                span.end(t(end));
+                expected.push(obs.spans().last().unwrap().clone());
+            }
+        }
+        let parsed = parse_jsonl(&obs.export_jsonl());
+        assert_eq!(parsed.len(), expected.len());
+        for (p, e) in parsed.iter().zip(&expected) {
+            assert_eq!(p.name, e.name);
+            assert_eq!(p.start_us, e.start_us);
+            assert_eq!(p.end_us, e.end_us);
+            assert_eq!(p.trace_id, e.trace_id);
+            assert_eq!(p.span_id, e.span_id);
+            assert_eq!(p.parent_id, e.parent_id);
+            assert_eq!(p.attrs.len(), e.attrs.len());
+            for (k, v) in &e.attrs {
+                let got = p.attr(k).expect("attr survives");
+                match v {
+                    AttrValue::Uint(u) => assert_eq!(got.as_u64(), Some(*u)),
+                    AttrValue::Float(f) => assert_eq!(got.as_f64(), Some(*f)),
+                    AttrValue::Str(s) => assert_eq!(got.as_str(), Some(s.as_str())),
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Per-function SLO tracking.
+//!
+//! Medes's policy objective P1 (paper §5.2) promises that average
+//! startup latency stays under `α · s_W`. The [`SloTracker`] measures
+//! that promise per function: a [`LogLinearHistogram`] of observed
+//! startup latencies (p50/p95/p99 with ≤ ~3% relative error at fixed
+//! memory) plus a counter of individual requests that exceeded the
+//! bound. The platform feeds it one sample per finished request; the
+//! summary surfaces on `RunOutcome` and in the Prometheus exposition.
+
+use crate::json::{Json, JsonMap};
+use crate::metrics::LogLinearHistogram;
+use std::collections::BTreeMap;
+
+/// Per-function SLO state: latency histogram + violation count.
+#[derive(Debug, Clone, Default)]
+struct FnSlo {
+    hist: LogLinearHistogram,
+    /// Latest non-zero bound (`α · s_W`), microseconds; 0 = no bound.
+    bound_us: u64,
+    violations: u64,
+}
+
+/// Tracks per-function latency distributions against their SLO bounds.
+/// Functions are keyed by name; iteration order is name-sorted so all
+/// exports are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct SloTracker {
+    funcs: BTreeMap<String, FnSlo>,
+}
+
+/// A read-only per-function summary row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnSloSummary {
+    /// Function name.
+    pub func: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// The SLO bound `α · s_W`, microseconds (0 = none configured).
+    pub bound_us: u64,
+    /// Samples that individually exceeded the bound.
+    pub violations: u64,
+}
+
+impl SloTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample for `func`. `bound_us` is the SLO
+    /// bound in effect for this request (0 = no bound: the sample is
+    /// recorded but cannot violate).
+    pub fn record(&mut self, func: &str, latency_us: u64, bound_us: u64) {
+        let f = self.funcs.entry(func.to_string()).or_default();
+        f.hist.record(latency_us);
+        if bound_us > 0 {
+            f.bound_us = bound_us;
+            if latency_us > bound_us {
+                f.violations += 1;
+            }
+        }
+    }
+
+    /// Number of tracked functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether no function has reported yet.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Total violations across all functions.
+    pub fn total_violations(&self) -> u64 {
+        self.funcs.values().map(|f| f.violations).sum()
+    }
+
+    /// Name-sorted per-function summaries. A function with no samples
+    /// never appears (there is no row to report).
+    pub fn summary(&self) -> Vec<FnSloSummary> {
+        self.funcs
+            .iter()
+            .map(|(name, f)| FnSloSummary {
+                func: name.clone(),
+                count: f.hist.count(),
+                mean_us: f.hist.mean(),
+                p50_us: f.hist.quantile(0.50).unwrap_or(0.0),
+                p95_us: f.hist.quantile(0.95).unwrap_or(0.0),
+                p99_us: f.hist.quantile(0.99).unwrap_or(0.0),
+                bound_us: f.bound_us,
+                violations: f.violations,
+            })
+            .collect()
+    }
+
+    /// Serializes the summary to a JSON object keyed by function name.
+    pub fn to_json(&self) -> Json {
+        let mut m = JsonMap::new();
+        for s in self.summary() {
+            let mut row = JsonMap::new();
+            row.insert("count", s.count);
+            row.insert("mean_us", s.mean_us);
+            row.insert("p50_us", s.p50_us);
+            row.insert("p95_us", s.p95_us);
+            row.insert("p99_us", s.p99_us);
+            row.insert("bound_us", s.bound_us);
+            row.insert("violations", s.violations);
+            m.insert(&s.func, Json::Object(row));
+        }
+        Json::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite: pinned closed-form quantiles on a known sample set.
+    /// Values < 32 land in width-1 buckets, so the log-linear estimate
+    /// is *exact* and the expectations are closed-form.
+    #[test]
+    fn quantiles_match_closed_form_on_known_samples() {
+        let mut t = SloTracker::new();
+        // 1..=20 µs, bound 15 µs ⇒ samples 16..=20 violate (5 of 20).
+        for v in 1..=20u64 {
+            t.record("f", v, 15);
+        }
+        let s = &t.summary()[0];
+        assert_eq!(s.count, 20);
+        assert_eq!(s.mean_us, 10.5);
+        // rank(ceil(q·20)) with exact unit buckets:
+        assert_eq!(s.p50_us, 10.0); // rank 10
+        assert_eq!(s.p95_us, 19.0); // rank 19
+        assert_eq!(s.p99_us, 20.0); // rank 20
+        assert_eq!(s.bound_us, 15);
+        assert_eq!(s.violations, 5);
+        assert_eq!(t.total_violations(), 5);
+    }
+
+    #[test]
+    fn empty_function_never_appears() {
+        let t = SloTracker::new();
+        assert!(t.is_empty());
+        assert!(t.summary().is_empty());
+        assert_eq!(t.total_violations(), 0);
+        assert_eq!(t.to_json(), Json::object());
+    }
+
+    #[test]
+    fn single_sample_all_quantiles_equal_it() {
+        let mut t = SloTracker::new();
+        t.record("solo", 7, 0);
+        let s = &t.summary()[0];
+        assert_eq!(s.count, 1);
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us), (7.0, 7.0, 7.0));
+        assert_eq!(s.mean_us, 7.0);
+        // bound 0 ⇒ no bound, no violations even though 7 > 0.
+        assert_eq!(s.bound_us, 0);
+        assert_eq!(s.violations, 0);
+    }
+
+    #[test]
+    fn violation_is_strict_and_bound_updates() {
+        let mut t = SloTracker::new();
+        t.record("f", 10, 10); // == bound: not a violation
+        t.record("f", 11, 10); // > bound: violation
+        t.record("f", 11, 20); // bound moved up: no violation
+        let s = &t.summary()[0];
+        assert_eq!(s.violations, 1);
+        assert_eq!(s.bound_us, 20);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn functions_sort_by_name_and_json_mirrors_summary() {
+        let mut t = SloTracker::new();
+        t.record("zeta", 5, 0);
+        t.record("alpha", 3, 2);
+        let summary = t.summary();
+        let names: Vec<&str> = summary.iter().map(|s| s.func.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        let j = t.to_json();
+        assert_eq!(j["alpha"]["violations"], 1);
+        assert_eq!(j["zeta"]["count"], 1);
+    }
+}
