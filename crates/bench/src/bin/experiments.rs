@@ -33,15 +33,25 @@
 //! flag combinations are validated through `PlatformConfig::builder`,
 //! so nonsense (zero shards, cache larger than node memory) is
 //! rejected up front instead of mutating config fields ad hoc.
+//!
+//! `--stream` (with `--obs`) streams spans to the trace file as they
+//! finish, bounding span memory to the ring; `--timeseries <ms>` turns
+//! on the deterministic sim-time sampler, exporting per-metric series
+//! as `.timeseries.jsonl` next to the trace. `trace timeline` renders
+//! those series with min/p50/p95/max tables and monotonic-leak
+//! detection; `trace diff <base> <cand>` compares two run exports and
+//! exits 1 when any metric regressed past `--threshold` (relative,
+//! default 0.10). Every experiment run appends wall time and peak RSS
+//! to `<results>/perf_history.jsonl`.
 
 use medes_bench::common::{ExpConfig, FaultSpec};
-use medes_bench::{analyze, experiments, summarize};
-use std::path::PathBuf;
+use medes_bench::{analyze, diff, experiments, perf_history, summarize, timeline};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\nids: {}",
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--stream] [--timeseries <ms>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\n       experiments trace timeline <trace.timeseries.jsonl>\n       experiments trace diff <base.jsonl> <cand.jsonl> [--threshold <f>]\nids: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -138,12 +148,81 @@ fn run_analyze(args: &[String]) {
     }
 }
 
+/// `trace timeline <file.timeseries.jsonl>...`.
+fn run_timeline(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    for path in args.iter().map(PathBuf::from) {
+        let contents = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let (report, _leaks) = timeline::timeline(&name, &contents);
+        println!("{}", report.text());
+    }
+}
+
+/// Loads one `trace diff` side: the trace itself plus its
+/// `.timeseries.jsonl` sibling when present.
+fn load_diff_side(path: &Path) -> diff::TraceExport {
+    let contents = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let ts = std::fs::read_to_string(path.with_extension("timeseries.jsonl")).ok();
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    diff::TraceExport::load(&name, &contents, ts.as_deref())
+}
+
+/// `trace diff <base.jsonl> <cand.jsonl> [--threshold <f>]`. Exits 1
+/// when any metric regressed past the thresholds.
+fn run_diff(args: &[String]) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut th = diff::DiffThresholds::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(t) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    usage();
+                };
+                th.rel = t;
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    let [base, cand] = files.as_slice() else {
+        usage();
+    };
+    let (report, regressions) = diff::diff(&load_diff_side(base), &load_diff_side(cand), &th);
+    println!("{}", report.text());
+    if !regressions.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         match args.get(1).map(String::as_str) {
             Some("summarize") => return run_summarize(&args[2..]),
             Some("analyze") => return run_analyze(&args[2..]),
+            Some("timeline") => return run_timeline(&args[2..]),
+            Some("diff") => return run_diff(&args[2..]),
             _ => usage(),
         }
     }
@@ -159,6 +238,13 @@ fn main() {
                     usage();
                 };
                 cfg.sample = Some(n);
+            }
+            "--stream" => cfg.stream = true,
+            "--timeseries" => {
+                let Some(ms) = it.next().and_then(|s| s.parse::<u64>().ok()) else {
+                    usage();
+                };
+                cfg.timeseries_ms = Some(ms);
             }
             "--results" => {
                 if let Some(dir) = it.next() {
@@ -230,7 +316,17 @@ fn main() {
         match experiments::run(id, &cfg) {
             Some(report) => {
                 report.emit(&cfg.results_dir);
-                eprintln!("[{} finished in {:.1}s]\n", id, t0.elapsed().as_secs_f64());
+                let wall_s = t0.elapsed().as_secs_f64();
+                perf_history::append(
+                    &cfg.results_dir,
+                    &perf_history::PerfRecord {
+                        experiment: id.clone(),
+                        quick: cfg.quick,
+                        wall_s,
+                        peak_rss_bytes: perf_history::peak_rss_bytes(),
+                    },
+                );
+                eprintln!("[{id} finished in {wall_s:.1}s]\n");
             }
             None => {
                 eprintln!("unknown experiment id: {id}");

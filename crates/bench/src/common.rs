@@ -71,6 +71,15 @@ pub struct ExpConfig {
     /// scans across a worker pool. `None` keeps the legacy serial path
     /// (and byte-identical outputs).
     pub pipeline: Option<(usize, usize)>,
+    /// Streamed span export (`--stream`, with `--obs`): spans go to the
+    /// trace file as they finish, so long traces run in O(ring) memory.
+    /// Inert without `--obs`.
+    pub stream: bool,
+    /// Deterministic time-series sampling interval in simulated ms
+    /// (`--timeseries <ms>`, with `--obs`): the platform snapshots its
+    /// gauge/counter set every interval into `.timeseries.jsonl` next
+    /// to the trace. Inert without `--obs`.
+    pub timeseries_ms: Option<u64>,
 }
 
 impl ExpConfig {
@@ -84,6 +93,8 @@ impl ExpConfig {
             faults: None,
             cache: None,
             pipeline: None,
+            stream: false,
+            timeseries_ms: None,
         }
     }
 
@@ -208,9 +219,16 @@ impl ExpConfig {
             .node_mem_bytes(192 << 20)
             .nodes(nodes);
         if self.obs {
-            let mut oc = medes_obs::ObsConfig::enabled().export_to(self.results_dir.clone());
+            let mut oc = medes_obs::ObsConfig::enabled();
+            oc.set_export_dir(self.results_dir.clone());
             if let Some(n) = self.sample {
                 oc = oc.sampled(n);
+            }
+            if self.stream {
+                oc = oc.streamed();
+            }
+            if let Some(ms) = self.timeseries_ms {
+                oc = oc.sampled_every_ms(ms);
             }
             b = b.obs(oc);
         }
@@ -354,6 +372,22 @@ mod tests {
         let obs = cfg.platform().obs;
         assert!(obs.enabled);
         assert_eq!(obs.sample_one_in, 8);
+    }
+
+    #[test]
+    fn stream_and_timeseries_flags_require_obs() {
+        let mut cfg = ExpConfig::quick();
+        cfg.stream = true;
+        cfg.timeseries_ms = Some(500);
+        // Without --obs both knobs are inert (tracing is off).
+        let obs = cfg.platform().obs;
+        assert!(!obs.enabled);
+        cfg.obs = true;
+        let obs = cfg.platform().obs;
+        assert!(obs.enabled);
+        assert!(obs.stream);
+        assert_eq!(obs.sample_every_ms, 500);
+        assert!(obs.export_dir.is_some());
     }
 
     #[test]

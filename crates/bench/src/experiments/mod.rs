@@ -15,6 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod obs_overhead;
+pub mod obs_stream;
 pub mod overheads;
 pub mod pipeline;
 pub mod table2;
@@ -43,6 +44,7 @@ pub const ALL: &[&str] = &[
     "fig16",
     "overheads",
     "obs-overhead",
+    "obs-stream",
     "chaos",
     "cache",
     "pipeline",
@@ -68,6 +70,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "fig16" => fig16::run(cfg),
         "overheads" => overheads::run(cfg),
         "obs-overhead" => obs_overhead::run(cfg),
+        "obs-stream" => obs_stream::run(cfg),
         "chaos" => chaos::run(cfg),
         "cache" => cache::run(cfg),
         "pipeline" => pipeline::run(cfg),

@@ -25,16 +25,28 @@
 //! `trace_id`/`parent_id` fields, prints critical paths and per-phase
 //! self times, flags anomalous ops, and writes a folded-stacks file
 //! for flamegraph rendering (see [`analyze`]).
+//!
+//! `trace timeline <trace.timeseries.jsonl>` summarizes the
+//! deterministic sampler's per-metric series (run any experiment with
+//! `--obs --timeseries <ms>`) and flags monotonic-leak patterns
+//! (see [`timeline`]). `trace diff <base.jsonl> <cand.jsonl>` compares
+//! two run exports — counters, histogram p99s, SLO violations, phase
+//! self times, series endpoints — and exits nonzero on regression (see
+//! [`diff`]). Each experiment run also appends its wall time and peak
+//! RSS to `results/perf_history.jsonl` (see [`perf_history`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyze;
 pub mod common;
+pub mod diff;
 pub mod experiments;
 pub mod harness;
+pub mod perf_history;
 pub mod report;
 pub mod summarize;
+pub mod timeline;
 
 pub use common::ExpConfig;
 pub use report::Report;

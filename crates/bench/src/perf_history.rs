@@ -1,0 +1,141 @@
+//! Machine-checkable performance trajectory for the harness itself.
+//!
+//! After every experiment the harness appends one JSONL record —
+//! experiment id, quick/full mode, wall-clock seconds, peak RSS — to
+//! `<results_dir>/perf_history.jsonl`. Successive CI runs accumulate a
+//! history that `trace diff`-style tooling (or a human with `jq`) can
+//! scan for harness-level slowdowns and memory growth, which per-run
+//! reports can't show.
+
+use medes_obs::json::{Json, JsonMap};
+use std::io::Write as _;
+use std::path::Path;
+
+/// One appended record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// Experiment id (`fig7a`, `obs-stream`, ...).
+    pub experiment: String,
+    /// Whether the run used `--quick` sizes.
+    pub quick: bool,
+    /// Wall-clock duration of the experiment, seconds.
+    pub wall_s: f64,
+    /// Peak resident set size of the process so far, bytes (0 when the
+    /// platform offers no reading).
+    pub peak_rss_bytes: u64,
+}
+
+impl PerfRecord {
+    /// Renders the record as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut m = JsonMap::new();
+        m.insert("experiment", self.experiment.as_str());
+        m.insert("quick", self.quick);
+        m.insert("wall_s", self.wall_s);
+        m.insert("peak_rss_bytes", self.peak_rss_bytes);
+        Json::Object(m).to_string()
+    }
+
+    /// Parses one JSONL line back (None on malformed input).
+    pub fn parse_line(line: &str) -> Option<PerfRecord> {
+        let v = medes_obs::json::parse(line).ok()?;
+        Some(PerfRecord {
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            quick: matches!(v.get("quick")?, Json::Bool(true)),
+            wall_s: v.get("wall_s")?.as_f64()?,
+            peak_rss_bytes: v.get("peak_rss_bytes")?.as_u64()?,
+        })
+    }
+}
+
+/// Peak resident set size of this process, bytes. Reads `VmHWM` from
+/// `/proc/self/status` on Linux; 0 elsewhere (the record still carries
+/// the wall time).
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kib: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kib * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Appends one record to `<results_dir>/perf_history.jsonl`, creating
+/// the directory and file as needed. Best-effort: failures warn on
+/// stderr instead of aborting the experiment run.
+pub fn append(results_dir: &Path, record: &PerfRecord) {
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(results_dir)?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(results_dir.join("perf_history.jsonl"))?;
+        writeln!(f, "{}", record.to_json_line())
+    };
+    if let Err(e) = write() {
+        eprintln!("warning: failed to append perf history: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips() {
+        let r = PerfRecord {
+            experiment: "fig7a".to_string(),
+            quick: true,
+            wall_s: 1.25,
+            peak_rss_bytes: 4096,
+        };
+        let line = r.to_json_line();
+        assert_eq!(
+            line,
+            "{\"experiment\":\"fig7a\",\"quick\":true,\"wall_s\":1.25,\"peak_rss_bytes\":4096}"
+        );
+        assert_eq!(PerfRecord::parse_line(&line), Some(r));
+        assert_eq!(PerfRecord::parse_line("not json"), None);
+    }
+
+    #[test]
+    fn append_accumulates_lines() {
+        let dir = std::env::temp_dir().join(format!("medes-perf-hist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = PerfRecord {
+            experiment: "x".to_string(),
+            quick: false,
+            wall_s: 0.5,
+            peak_rss_bytes: 0,
+        };
+        append(&dir, &r);
+        append(&dir, &r);
+        let contents = std::fs::read_to_string(dir.join("perf_history.jsonl")).unwrap();
+        let records: Vec<_> = contents
+            .lines()
+            .filter_map(PerfRecord::parse_line)
+            .collect();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], r);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
+    }
+}

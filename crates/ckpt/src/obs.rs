@@ -17,6 +17,10 @@ pub fn record_checkpoint(obs: &Obs, paper_bytes: usize, took: SimDuration) {
     obs.incr("medes.ckpt.checkpoints");
     obs.counter_add("medes.ckpt.checkpoint_bytes", paper_bytes as u64);
     obs.record_us("medes.ckpt.checkpoint_us", took);
+    // Cumulative-time counter: the time-series sampler skips
+    // histograms, so this is what makes checkpoint time visible as a
+    // sampled series.
+    obs.counter_add("medes.ckpt.checkpoint_us_total", took.as_micros());
 }
 
 /// Records one restore-from-checkpoint (the memory-restore path):
@@ -27,6 +31,8 @@ pub fn record_restore(obs: &Obs, took: SimDuration) {
     }
     obs.incr("medes.ckpt.restores");
     obs.record_us("medes.ckpt.restore_us", took);
+    // Same cumulative mirror as `checkpoint_us_total`, for restores.
+    obs.counter_add("medes.ckpt.restore_us_total", took.as_micros());
 }
 
 /// Causal variant of [`record_checkpoint`]: additionally emits a
@@ -84,6 +90,8 @@ mod tests {
         assert_eq!(obs.counter("medes.ckpt.checkpoints"), 2);
         assert_eq!(obs.counter("medes.ckpt.checkpoint_bytes"), 12288);
         assert_eq!(obs.counter("medes.ckpt.restores"), 1);
+        assert_eq!(obs.counter("medes.ckpt.checkpoint_us_total"), 260_000);
+        assert_eq!(obs.counter("medes.ckpt.restore_us_total"), 140_000);
         let mean = obs
             .with_histogram("medes.ckpt.restore_us", |h| h.mean())
             .unwrap();

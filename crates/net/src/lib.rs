@@ -315,6 +315,14 @@ impl Fabric {
             self.stats.rpc_failures += 1;
         }
         if self.obs.enabled() {
+            // Split failure counters by transport so the sampled time
+            // series can separate data-path (RDMA) from control-path
+            // (RPC) fault clusters.
+            self.obs.incr(if rdma {
+                "medes.net.rdma_failures"
+            } else {
+                "medes.net.rpc_failures"
+            });
             self.obs.incr(match err {
                 NetError::Timeout { .. } => "medes.net.err.timeout",
                 NetError::Unreachable { .. } => "medes.net.err.unreachable",

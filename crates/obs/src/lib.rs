@@ -14,16 +14,20 @@
 pub mod ids;
 pub mod json;
 pub mod metrics;
+pub mod series;
+pub mod sink;
 pub mod slo;
 pub mod span;
 
 pub use ids::TraceCtx;
 pub use json::{Json, JsonMap, ParseError};
 pub use metrics::{LogLinearHistogram, Metric, MetricsRegistry};
+pub use series::{parse_timeseries, MetricSeries, ParsedSeries, SeriesKind, SeriesStore};
+pub use sink::SpanSink;
 pub use slo::{FnSloSummary, SloTracker};
 pub use span::{AttrValue, ParsedSpan, Span, SpanRecord, Tracer};
 
-use medes_sim::SimTime;
+use medes_sim::{SimDuration, SimTime};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -52,6 +56,22 @@ pub struct ObsConfig {
     pub export_dir: Option<PathBuf>,
     /// Tag embedded in exported trace filenames.
     pub run_tag: String,
+    /// Streamed span export: write each span to the trace file the
+    /// moment it is recorded (through a buffered writer) instead of
+    /// holding the whole trace in memory until the run ends. The ring
+    /// buffer still keeps the most recent `span_buffer_cap` spans for
+    /// in-process consumers, so long traces run in O(ring) memory
+    /// while the on-disk trace stays complete. Requires `export_dir`;
+    /// inert without it. Off by default — buffered export is then
+    /// byte-identical to every pre-streaming build.
+    pub stream: bool,
+    /// Deterministic time-series sampling interval in simulated
+    /// milliseconds; `0` (the default) disables the sampler. When set,
+    /// the platform snapshots its declared gauge/counter set every
+    /// interval of *simulated* time — never wall clock — into
+    /// per-metric series exported as `.timeseries.jsonl` next to the
+    /// trace.
+    pub sample_every_ms: u64,
 }
 
 impl Default for ObsConfig {
@@ -62,6 +82,8 @@ impl Default for ObsConfig {
             sample_one_in: 1,
             export_dir: None,
             run_tag: "run".to_string(),
+            stream: false,
+            sample_every_ms: 0,
         }
     }
 }
@@ -75,9 +97,18 @@ impl ObsConfig {
         }
     }
 
-    /// Sets the export directory (builder style).
-    pub fn export_to(mut self, dir: impl Into<PathBuf>) -> Self {
+    /// Sets the export directory in place — the composition-friendly
+    /// setter for callers holding a `&mut ObsConfig` (harness flag
+    /// loops, config tweaks) that the consuming builder style forced
+    /// into rebind chains.
+    pub fn set_export_dir(&mut self, dir: impl Into<PathBuf>) {
         self.export_dir = Some(dir.into());
+    }
+
+    /// Sets the export directory (builder style). Thin shim over
+    /// [`ObsConfig::set_export_dir`].
+    pub fn export_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.set_export_dir(dir);
         self
     }
 
@@ -91,6 +122,21 @@ impl ObsConfig {
     /// [`ObsConfig::sample_one_in`]).
     pub fn sampled(mut self, one_in: u64) -> Self {
         self.sample_one_in = one_in;
+        self
+    }
+
+    /// Turns on streamed span export (builder style; see
+    /// [`ObsConfig::stream`]).
+    pub fn streamed(mut self) -> Self {
+        self.stream = true;
+        self
+    }
+
+    /// Samples the metric time series every `ms` simulated
+    /// milliseconds (builder style; see
+    /// [`ObsConfig::sample_every_ms`]).
+    pub fn sampled_every_ms(mut self, ms: u64) -> Self {
+        self.sample_every_ms = ms;
         self
     }
 }
@@ -109,17 +155,49 @@ pub struct Obs {
     tracer: Mutex<Tracer>,
     metrics: Mutex<MetricsRegistry>,
     slo: Mutex<SloTracker>,
+    /// Streamed-mode trace file, opened at construction (`None` in
+    /// buffered mode, after finalization, or if creation failed).
+    sink: Mutex<Option<SpanSink>>,
+    /// Exact count of spans durably handed to the sink. Together with
+    /// the ring's own accounting this keeps streamed-mode eviction
+    /// observable: every recorded span satisfies
+    /// `streamed == buffered + dropped` (see `spans_streamed`).
+    streamed: AtomicU64,
+    /// Deterministic metric time series (fed by the platform's
+    /// sim-time sample tick).
+    series: Mutex<SeriesStore>,
 }
 
 impl Obs {
-    /// Creates a handle from a config.
+    /// Creates a handle from a config. In streamed mode
+    /// ([`ObsConfig::stream`] with an export dir) the trace file is
+    /// created immediately; if that fails, a warning is printed and
+    /// the handle falls back to buffered-only operation.
     pub fn new(cfg: ObsConfig) -> Arc<Obs> {
         let cap = if cfg.enabled { cfg.span_buffer_cap } else { 0 };
+        let sink = if cfg.enabled && cfg.stream {
+            cfg.export_dir.as_ref().and_then(|dir| {
+                let seq = EXPORT_SEQ.fetch_add(1, Ordering::Relaxed);
+                let path = dir.join(format!("trace-{}-{seq}.jsonl", cfg.run_tag));
+                match SpanSink::create(path) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("warning: cannot open streamed trace sink: {e}");
+                        None
+                    }
+                }
+            })
+        } else {
+            None
+        };
         Arc::new(Obs {
             enabled: cfg.enabled,
             tracer: Mutex::new(Tracer::new(cap)),
             metrics: Mutex::new(MetricsRegistry::new()),
             slo: Mutex::new(SloTracker::new()),
+            sink: Mutex::new(sink),
+            streamed: AtomicU64::new(0),
+            series: Mutex::new(SeriesStore::new()),
             cfg,
         })
     }
@@ -181,7 +259,32 @@ impl Obs {
     }
 
     pub(crate) fn record_span(&self, span: SpanRecord) {
-        self.tracer.lock().unwrap().record(span);
+        // Streamed mode: the span reaches disk before it can be
+        // evicted from the ring, so ring overflow never loses data. A
+        // write error permanently drops the sink (falling back to
+        // buffered-only) rather than spamming one error per span.
+        let mut sink = self.sink.lock().unwrap();
+        if let Some(s) = sink.as_mut() {
+            match s.write_span(&span) {
+                Ok(()) => {
+                    self.streamed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    eprintln!("warning: streamed trace write failed, reverting to buffered: {e}");
+                    *sink = None;
+                }
+            }
+        }
+        drop(sink);
+        let live = {
+            let mut t = self.tracer.lock().unwrap();
+            t.record(span);
+            t.len()
+        };
+        self.metrics
+            .lock()
+            .unwrap()
+            .gauge_set("medes.obs.spans_live", live as f64);
     }
 
     /// Adds to a counter.
@@ -233,9 +336,71 @@ impl Obs {
     }
 
     /// Causal traces that lost at least one span to ring-buffer
-    /// eviction (their exported trees are incomplete).
+    /// eviction (their exported trees are incomplete). In streamed
+    /// mode the on-disk trace still holds every span — truncation only
+    /// affects the in-memory view.
     pub fn truncated_traces(&self) -> usize {
         self.tracer.lock().unwrap().truncated_traces()
+    }
+
+    /// Exact count of spans durably streamed to the trace file (0 in
+    /// buffered mode). In streamed mode every recorded span is
+    /// streamed before eviction, so the accounting closes exactly:
+    /// `spans_streamed() == span_count() + spans_dropped()`.
+    pub fn spans_streamed(&self) -> u64 {
+        self.streamed.load(Ordering::Relaxed)
+    }
+
+    /// Whether the streamed sink is currently open.
+    pub fn streaming(&self) -> bool {
+        self.sink.lock().unwrap().is_some()
+    }
+
+    /// The deterministic time-series sampling interval, if configured
+    /// (`None` when disabled or `sample_every_ms == 0`).
+    pub fn sample_interval(&self) -> Option<SimDuration> {
+        (self.enabled && self.cfg.sample_every_ms > 0)
+            .then(|| SimDuration::from_millis(self.cfg.sample_every_ms))
+    }
+
+    /// Appends one gauge point to the named time series at simulated
+    /// time `t`. For dynamic names (per-node, per-shard) the sampler
+    /// cannot route through the `'static`-keyed registry.
+    pub fn series_point(&self, name: &str, t: SimTime, value: f64) {
+        if self.enabled {
+            self.series
+                .lock()
+                .unwrap()
+                .point(name, SeriesKind::Gauge, t.as_micros(), value);
+        }
+    }
+
+    /// Snapshots every registered counter and gauge as one time-series
+    /// point each at simulated time `t` (histograms are skipped).
+    pub fn series_sample(&self, t: SimTime) {
+        if self.enabled {
+            let metrics = self.metrics.lock().unwrap();
+            self.series
+                .lock()
+                .unwrap()
+                .sample_registry(&metrics, t.as_micros());
+        }
+    }
+
+    /// Number of distinct sampled time series.
+    pub fn series_count(&self) -> usize {
+        self.series.lock().unwrap().len()
+    }
+
+    /// Total points across all sampled time series.
+    pub fn series_points_total(&self) -> usize {
+        self.series.lock().unwrap().points_total()
+    }
+
+    /// Renders the sampled time series as name-sorted JSONL (see
+    /// [`SeriesStore::export_jsonl`]).
+    pub fn export_timeseries_jsonl(&self) -> String {
+        self.series.lock().unwrap().export_jsonl()
     }
 
     /// Records one per-function SLO latency sample (`bound_us` = the
@@ -284,19 +449,32 @@ impl Obs {
         m.histogram(name).map(f)
     }
 
+    /// The trace export's tail line: one JSON object carrying the
+    /// final metrics snapshot and the per-function SLO summary, so a
+    /// trace file is a self-contained run export (`trace diff`
+    /// compares two of them without side files). Streamed and buffered
+    /// exports build the tail identically.
+    fn export_tail(&self) -> String {
+        let metrics = self.metrics.lock().unwrap().to_json();
+        let slo = self.slo.lock().unwrap().to_json();
+        let mut tail = JsonMap::new();
+        tail.insert("metrics", metrics);
+        tail.insert("slo", slo);
+        let mut out = Json::Object(tail).to_string();
+        out.push('\n');
+        out
+    }
+
     /// Renders all buffered spans as JSONL (one span object per line,
-    /// oldest first), followed by one `{"metrics": {...}}` line.
+    /// oldest first), followed by one `{"metrics": ..., "slo": ...}`
+    /// tail line.
     pub fn export_jsonl(&self) -> String {
         let mut out = String::new();
         for span in self.tracer.lock().unwrap().iter() {
             out.push_str(&span.to_json().to_string());
             out.push('\n');
         }
-        let metrics = self.metrics.lock().unwrap().to_json();
-        let mut tail = JsonMap::new();
-        tail.insert("metrics", metrics);
-        out.push_str(&Json::Object(tail).to_string());
-        out.push('\n');
+        out.push_str(&self.export_tail());
         out
     }
 
@@ -392,21 +570,35 @@ impl Obs {
     /// Writes the JSONL export to
     /// `<export_dir>/trace-<run_tag>-<seq>.jsonl` (and the Prometheus
     /// exposition next to it as `.prom`), creating directories as
-    /// needed. Returns the JSONL path written, or `None` when disabled
-    /// or no export dir is configured.
+    /// needed. In streamed mode the spans are already on disk — this
+    /// finalizes the open sink with the metrics tail instead of
+    /// rewriting the file. When the time-series sampler is configured,
+    /// the sampled series land next to the trace as
+    /// `.timeseries.jsonl`. Returns the JSONL path written, or `None`
+    /// when disabled or no export dir is configured.
     pub fn write_trace(&self) -> std::io::Result<Option<PathBuf>> {
         if !self.enabled {
             return Ok(None);
         }
-        let Some(dir) = &self.cfg.export_dir else {
-            return Ok(None);
+        let path = if let Some(sink) = self.sink.lock().unwrap().take() {
+            sink.finish(&self.export_tail())?
+        } else {
+            let Some(dir) = &self.cfg.export_dir else {
+                return Ok(None);
+            };
+            std::fs::create_dir_all(dir)?;
+            let seq = EXPORT_SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("trace-{}-{seq}.jsonl", self.cfg.run_tag));
+            std::fs::write(&path, self.export_jsonl())?;
+            path
         };
-        std::fs::create_dir_all(dir)?;
-        let seq = EXPORT_SEQ.fetch_add(1, Ordering::Relaxed);
-        let path = dir.join(format!("trace-{}-{seq}.jsonl", self.cfg.run_tag));
-        std::fs::write(&path, self.export_jsonl())?;
-        let prom = dir.join(format!("trace-{}-{seq}.prom", self.cfg.run_tag));
-        std::fs::write(&prom, self.export_prometheus())?;
+        std::fs::write(path.with_extension("prom"), self.export_prometheus())?;
+        if self.cfg.sample_every_ms > 0 {
+            std::fs::write(
+                path.with_extension("timeseries.jsonl"),
+                self.export_timeseries_jsonl(),
+            )?;
+        }
         Ok(Some(path))
     }
 }
@@ -639,6 +831,217 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Tentpole property test: a seeded random span forest streamed
+    /// through the `SpanSink` produces a trace file byte-identical to
+    /// what buffered [`Obs::export_jsonl`] emits for the same spans —
+    /// on the streaming handle itself *and* on an independent buffered
+    /// handle fed the identical stream.
+    #[test]
+    fn streamed_export_is_byte_identical_to_buffered() {
+        use medes_sim::DetRng;
+        let dir = std::env::temp_dir().join(format!("medes-obs-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let streamed = Obs::new(
+            ObsConfig::enabled()
+                .export_to(&dir)
+                .tagged("prop")
+                .streamed(),
+        );
+        let buffered = Obs::new(ObsConfig::enabled());
+        assert!(streamed.streaming());
+        assert!(!buffered.streaming());
+        let mut rng = DetRng::new(0x57e4_3a1d_0000_0002);
+        const NAMES: [&str; 3] = ["medes.a.root", "medes.b.mid", "medes.c.leaf"];
+        for trace in 0..60u64 {
+            let root = streamed.trace_root("stream-prop", 9, trace);
+            let n = 1 + rng.below(4) as usize;
+            for d in 0..n {
+                let name = NAMES[rng.below(NAMES.len() as u64) as usize];
+                let ctx = root.child(name, d as u64);
+                let start = rng.below(1 << 40);
+                let end = start + rng.below(1 << 20);
+                let tagged = rng.chance(0.5);
+                for obs in [&streamed, &buffered] {
+                    let mut span = obs.span_in(name, t(start), ctx);
+                    if tagged {
+                        span = span.attr("u", trace * 100 + d as u64);
+                    }
+                    span.end(t(end));
+                    obs.incr("medes.test.ops");
+                }
+            }
+        }
+        let path = streamed.write_trace().unwrap().expect("streamed path");
+        let file = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(file, streamed.export_jsonl());
+        assert_eq!(file, buffered.export_jsonl());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: streamed-mode ring eviction is observable — the ring
+    /// stays bounded, the accounting closes exactly
+    /// (`streamed == buffered + dropped`), the `medes.obs.spans_live`
+    /// gauge tracks occupancy, and the on-disk trace still holds every
+    /// span.
+    #[test]
+    fn streamed_ring_is_bounded_with_exact_accounting() {
+        let dir = std::env::temp_dir().join(format!("medes-obs-ring-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ObsConfig {
+            span_buffer_cap: 8,
+            ..ObsConfig::enabled()
+                .export_to(&dir)
+                .tagged("ring")
+                .streamed()
+        };
+        let obs = Obs::new(cfg);
+        for key in 0..100u64 {
+            let root = obs.trace_root("op", 2, key);
+            obs.span_in("medes.test.op", t(key), root).end(t(key + 1));
+        }
+        assert_eq!(obs.span_count(), 8);
+        assert_eq!(obs.spans_dropped(), 92);
+        assert_eq!(obs.spans_streamed(), 100);
+        assert_eq!(
+            obs.spans_streamed(),
+            obs.span_count() as u64 + obs.spans_dropped()
+        );
+        assert!(obs.truncated_traces() > 0, "in-memory trees are truncated");
+        let snapshot = obs.metrics_snapshot();
+        let live = snapshot
+            .iter()
+            .find(|(n, _)| *n == "medes.obs.spans_live")
+            .expect("spans_live gauge");
+        assert!(matches!(live.1, Metric::Gauge(v) if v == 8.0));
+        let path = obs.write_trace().unwrap().expect("path");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        // Every streamed span is on disk despite the tiny ring.
+        assert_eq!(parse_jsonl(&contents).len(), 100);
+        assert!(!obs.streaming(), "finalized sink is closed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: the `&mut self` export-dir setter composes without
+    /// rebind chains and the old builder method is a shim over it.
+    #[test]
+    fn set_export_dir_matches_builder_shim() {
+        let mut a = ObsConfig::enabled();
+        a.set_export_dir("/tmp/medes-x");
+        let b = ObsConfig::enabled().export_to("/tmp/medes-x");
+        assert_eq!(a, b);
+    }
+
+    /// Satellite (stable ordering audit): the Prometheus exposition is
+    /// name-sorted by raw byte order — golden bytes pinned so any
+    /// ordering or formatting drift fails loudly.
+    #[test]
+    fn prometheus_export_is_name_sorted_golden() {
+        let obs = Obs::new(ObsConfig::enabled());
+        obs.gauge_set("medes.z.level", 2.5);
+        obs.counter_add("medes.a.ops", 3);
+        obs.slo_record("fn-b", 4, 0);
+        assert_eq!(
+            obs.export_prometheus(),
+            "# TYPE medes_a_ops counter\n\
+             medes_a_ops 3\n\
+             # TYPE medes_z_level gauge\n\
+             medes_z_level 2.5\n\
+             # TYPE medes_slo_startup_us summary\n\
+             medes_slo_startup_us{function=\"fn-b\",quantile=\"0.5\"} 4\n\
+             medes_slo_startup_us{function=\"fn-b\",quantile=\"0.95\"} 4\n\
+             medes_slo_startup_us{function=\"fn-b\",quantile=\"0.99\"} 4\n\
+             medes_slo_startup_us_sum{function=\"fn-b\"} 4\n\
+             medes_slo_startup_us_count{function=\"fn-b\"} 1\n\
+             # TYPE medes_slo_bound_us gauge\n\
+             medes_slo_bound_us{function=\"fn-b\"} 0\n\
+             # TYPE medes_slo_violations_total counter\n\
+             medes_slo_violations_total{function=\"fn-b\"} 0\n"
+        );
+    }
+
+    /// Satellite: SLO accounting sees every request even under
+    /// aggressive head sampling (spans vanish, violations don't), a
+    /// zero bound never violates, and one sample pins all quantiles.
+    #[test]
+    fn slo_counts_violations_under_head_sampling() {
+        let obs = Obs::new(ObsConfig::enabled().sampled(u64::MAX));
+        for key in 0..50u64 {
+            let root = obs.trace_root("req", 5, key);
+            obs.span_in("medes.platform.request", t(key), root)
+                .end(t(key + 1));
+            // 25 over a 100µs bound, 25 with no bound at all.
+            if key % 2 == 0 {
+                obs.slo_record("hot", 200, 100);
+            } else {
+                obs.slo_record("unbounded", 200, 0);
+            }
+        }
+        assert_eq!(obs.span_count(), 0, "sampling dropped every span");
+        assert_eq!(obs.slo_violations(), 25, "SLO sees every request");
+        let summary = obs.slo_summary();
+        assert_eq!(summary.len(), 2);
+        let unbounded = summary.iter().find(|s| s.func == "unbounded").unwrap();
+        assert_eq!(unbounded.bound_us, 0);
+        assert_eq!(unbounded.violations, 0, "absent bound cannot violate");
+        assert_eq!(unbounded.count, 25);
+        // Exactly one sample: quantiles collapse onto it.
+        obs.slo_record("solo", 9, 100);
+        let solo = obs
+            .slo_summary()
+            .into_iter()
+            .find(|s| s.func == "solo")
+            .unwrap();
+        assert_eq!(solo.count, 1);
+        assert_eq!((solo.p50_us, solo.p95_us, solo.p99_us), (9.0, 9.0, 9.0));
+        assert_eq!(solo.violations, 0);
+    }
+
+    #[test]
+    fn timeseries_flow_through_obs_and_export() {
+        let dir = std::env::temp_dir().join(format!("medes-obs-ts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ObsConfig::enabled()
+            .export_to(&dir)
+            .tagged("ts")
+            .sampled_every_ms(100);
+        let obs = Obs::new(cfg);
+        assert_eq!(obs.sample_interval(), Some(SimDuration::from_millis(100)));
+        obs.counter_add("medes.x.ops", 2);
+        obs.series_sample(t(0));
+        obs.series_point("medes.node.0.mem_bytes", t(0), 10.0);
+        obs.counter_add("medes.x.ops", 3);
+        obs.series_sample(t(100_000));
+        obs.series_point("medes.node.0.mem_bytes", t(100_000), 30.0);
+        assert_eq!(obs.series_count(), 2);
+        assert_eq!(obs.series_points_total(), 4);
+        let path = obs.write_trace().unwrap().expect("path");
+        let ts_path = path.with_extension("timeseries.jsonl");
+        let series = parse_timeseries(&std::fs::read_to_string(&ts_path).unwrap());
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name, "medes.node.0.mem_bytes");
+        assert_eq!(series[0].points, vec![(0, 10.0), (100_000, 30.0)]);
+        assert_eq!(series[1].name, "medes.x.ops");
+        assert_eq!(series[1].kind, SeriesKind::Counter);
+        assert_eq!(series[1].points, vec![(0, 2.0), (100_000, 5.0)]);
+        // The sampler is inert on a disabled handle.
+        let off = Obs::disabled();
+        off.series_sample(t(0));
+        off.series_point("x", t(0), 1.0);
+        assert_eq!(off.sample_interval(), None);
+        assert_eq!(off.series_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_tail_carries_slo_summary() {
+        let obs = Obs::new(ObsConfig::enabled());
+        obs.slo_record("resnet", 20, 10);
+        let tail = obs.export_jsonl();
+        let v = json::parse(tail.lines().last().unwrap()).unwrap();
+        assert_eq!(v["slo"]["resnet"]["violations"], 1);
+        assert_eq!(v["slo"]["resnet"]["count"], 1);
     }
 
     #[test]

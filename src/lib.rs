@@ -19,6 +19,7 @@
 //! | [`mem`] | sandbox memory images + the synthetic content model |
 //! | [`ckpt`] | CRIU-like checkpoint/restore with the paper's timings |
 //! | [`net`] | RDMA/RPC fabric cost model |
+//! | [`obs`] | tracing/metrics layer: spans, streamed JSONL export, time series |
 //! | [`trace`] | FunctionBench profiles + Azure-like workload generator |
 //! | [`policy`] | fixed/adaptive keep-alive + the §5 Medes optimizer |
 //! | [`platform`] | the full platform: controller, registry, dedup & restore ops |
@@ -62,6 +63,7 @@ pub use medes_delta as delta;
 pub use medes_hash as hash;
 pub use medes_mem as mem;
 pub use medes_net as net;
+pub use medes_obs as obs;
 pub use medes_policy as policy;
 pub use medes_sim as sim;
 pub use medes_trace as trace;
