@@ -34,6 +34,17 @@
 //! so nonsense (zero shards, cache larger than node memory) is
 //! rejected up front instead of mutating config fields ad hoc.
 //!
+//! `--content-model` switches every cluster run to the calibrated
+//! entropy-mixture content model (DESIGN.md §13): per-region
+//! low/medium/high-entropy page mixes with dispersed per-instance
+//! noise. Figure sweeps assert paper-shaped (non-flat) orderings when
+//! it is on; without the flag every experiment stays byte-identical
+//! to the legacy content model. The new `scenarios` experiment runs
+//! five adversarial production scenario classes (rolling deploys,
+//! flash crowds, tenant skew, heterogeneous node memory, preemption
+//! waves) against Medes and the keep-alive baselines, self-asserting
+//! determinism and the expected orderings.
+//!
 //! `--stream` (with `--obs`) streams spans to the trace file as they
 //! finish, bounding span memory to the ring; `--timeseries <ms>` turns
 //! on the deterministic sim-time sampler, exporting per-metric series
@@ -51,7 +62,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--stream] [--timeseries <ms>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\n       experiments trace timeline <trace.timeseries.jsonl>\n       experiments trace diff <base.jsonl> <cand.jsonl> [--threshold <f>]\nids: {}",
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--stream] [--timeseries <ms>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>] [--content-model]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\n       experiments trace timeline <trace.timeseries.jsonl>\n       experiments trace diff <base.jsonl> <cand.jsonl> [--threshold <f>]\nids: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -240,6 +251,7 @@ fn main() {
                 cfg.sample = Some(n);
             }
             "--stream" => cfg.stream = true,
+            "--content-model" => cfg.content_model = true,
             "--timeseries" => {
                 let Some(ms) = it.next().and_then(|s| s.parse::<u64>().ok()) else {
                     usage();

@@ -80,6 +80,13 @@ pub struct ExpConfig {
     /// gauge/counter set every interval into `.timeseries.jsonl` next
     /// to the trace. Inert without `--obs`.
     pub timeseries_ms: Option<u64>,
+    /// Entropy-mixture content model (`--content-model`): every
+    /// platform built by [`ExpConfig::platform`] uses the calibrated
+    /// per-region low/medium/high-entropy mixture with dispersed
+    /// per-instance noise (DESIGN.md §13) instead of the legacy tile
+    /// model. `false` keeps every experiment byte-identical to the
+    /// legacy build.
+    pub content_model: bool,
 }
 
 impl ExpConfig {
@@ -95,6 +102,7 @@ impl ExpConfig {
             pipeline: None,
             stream: false,
             timeseries_ms: None,
+            content_model: false,
         }
     }
 
@@ -245,6 +253,11 @@ impl ExpConfig {
         }
         if let Some((shards, workers)) = self.pipeline {
             b = b.shards(shards).workers(workers);
+        }
+        if self.content_model {
+            b = b.tweak(|c| {
+                c.content.mixture = medes_mem::ContentModelConfig::paper_calibrated();
+            });
         }
         b.build()
     }

@@ -68,6 +68,14 @@ pub fn run(cfg: &ExpConfig) -> Report {
         gain
     ));
     report.line("paper: KA-5 -> KA-10 improves ~9.4%; KA-15/KA-20 regress (evictions)");
+    if cfg.content_model {
+        let ok = medes.total_cold_starts() < best_fixed;
+        report.line(&format!(
+            "mixture on: medes beats the best fixed window on cold starts: {}",
+            if ok { "PASS" } else { "FAIL" }
+        ));
+        report.json_set("mixture_verdict", medes_obs::json!(ok));
+    }
     report.json_set("results", medes_obs::Json::Array(json));
     report.json_set("gain_vs_best_fixed_pct", medes_obs::json!(f(gain, 2)));
     report

@@ -18,6 +18,7 @@ pub mod obs_overhead;
 pub mod obs_stream;
 pub mod overheads;
 pub mod pipeline;
+pub mod scenarios;
 pub mod table2;
 pub mod table3;
 
@@ -48,6 +49,7 @@ pub const ALL: &[&str] = &[
     "chaos",
     "cache",
     "pipeline",
+    "scenarios",
 ];
 
 /// Dispatches one experiment by id.
@@ -74,6 +76,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "chaos" => chaos::run(cfg),
         "cache" => cache::run(cfg),
         "pipeline" => pipeline::run(cfg),
+        "scenarios" => scenarios::run(cfg),
         _ => return None,
     };
     Some(report)

@@ -8,6 +8,7 @@ use medes_obs::ObsConfig;
 use medes_policy::MedesPolicyConfig;
 use medes_sim::fault::FaultPlan;
 use medes_sim::SimDuration;
+use medes_trace::DeploySchedule;
 
 /// Restore read-path configuration: read coalescing and the per-node
 /// base-page cache. The default is fully disabled, which preserves the
@@ -170,6 +171,14 @@ pub struct PlatformConfig {
     /// the legacy serial path (one shard, zero workers), which is
     /// byte-identical to the pre-pipeline platform.
     pub pipeline: DedupPipelineConfig,
+    /// Per-node memory capacities, bytes. Empty (the default) means
+    /// every node has `node_mem_bytes`; a non-empty vector must have one
+    /// entry per node and enables heterogeneous placement/eviction.
+    pub node_mem_profile: Vec<usize>,
+    /// Rolling-deploy schedule: per-function version bumps that
+    /// invalidate older-version sandboxes and their demarcated base
+    /// pages. Empty (the default) is the provable no-op.
+    pub deploys: DeploySchedule,
 }
 
 /// A rejected [`PlatformConfigBuilder`] configuration.
@@ -194,6 +203,27 @@ pub enum ConfigError {
     },
     /// A non-zero worker pool needs a positive flush interval.
     ZeroFlushInterval,
+    /// A heterogeneous memory profile must list one capacity per node.
+    NodeMemProfileLen {
+        /// Number of worker nodes configured.
+        nodes: usize,
+        /// Entries in the provided profile.
+        got: usize,
+    },
+    /// Every entry of a heterogeneous memory profile must be non-zero.
+    ZeroNodeMemProfileEntry {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// Deploy schedule versions must be non-zero (version 0 is the
+    /// initial deployment).
+    ZeroDeployVersion {
+        /// Index of the offending bump in the schedule.
+        bump: usize,
+    },
+    /// The content-model entropy-mixture weights are not valid
+    /// probabilities (each region's fractions must sum to ≤ 1).
+    InvalidMixture,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -217,6 +247,24 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::ZeroFlushInterval => {
                 write!(f, "dedup pipeline needs a positive flush interval")
+            }
+            ConfigError::NodeMemProfileLen { nodes, got } => {
+                write!(f, "node memory profile has {got} entries for {nodes} nodes")
+            }
+            ConfigError::ZeroNodeMemProfileEntry { node } => {
+                write!(f, "node {node} has zero memory in the profile")
+            }
+            ConfigError::ZeroDeployVersion { bump } => {
+                write!(
+                    f,
+                    "deploy bump {bump} targets version 0 (the initial deploy)"
+                )
+            }
+            ConfigError::InvalidMixture => {
+                write!(
+                    f,
+                    "content-model mixture weights must be probabilities summing to <= 1"
+                )
             }
         }
     }
@@ -301,6 +349,19 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Per-node memory capacities (heterogeneous cluster). Pass an
+    /// empty vector to return to uniform `node_mem_bytes`.
+    pub fn node_mem_profile(mut self, profile: Vec<usize>) -> Self {
+        self.cfg.node_mem_profile = profile;
+        self
+    }
+
+    /// Rolling-deploy schedule.
+    pub fn deploys(mut self, deploys: DeploySchedule) -> Self {
+        self.cfg.deploys = deploys;
+        self
+    }
+
     /// Emulated-Catalyzer mode (§7.6).
     pub fn catalyzer_mode(mut self, on: bool) -> Self {
         self.cfg.catalyzer_mode = on;
@@ -347,6 +408,32 @@ impl PlatformConfigBuilder {
         }
         if c.pipeline.enabled() && c.pipeline.flush_interval == SimDuration::ZERO {
             return Err(ConfigError::ZeroFlushInterval);
+        }
+        if !c.node_mem_profile.is_empty() {
+            if c.node_mem_profile.len() != c.nodes {
+                return Err(ConfigError::NodeMemProfileLen {
+                    nodes: c.nodes,
+                    got: c.node_mem_profile.len(),
+                });
+            }
+            if let Some(node) = c.node_mem_profile.iter().position(|&m| m == 0) {
+                return Err(ConfigError::ZeroNodeMemProfileEntry { node });
+            }
+            if c.read_path.page_cache_bytes > 0 {
+                let min_mem = *c.node_mem_profile.iter().min().unwrap();
+                if c.read_path.page_cache_bytes > min_mem {
+                    return Err(ConfigError::CacheExceedsNodeMem {
+                        cache_bytes: c.read_path.page_cache_bytes,
+                        node_mem_bytes: min_mem,
+                    });
+                }
+            }
+        }
+        if let Some(bump) = c.deploys.bumps.iter().position(|b| b.version == 0) {
+            return Err(ConfigError::ZeroDeployVersion { bump });
+        }
+        if !c.content.mixture.is_valid() {
+            return Err(ConfigError::InvalidMixture);
         }
         Ok(self.cfg)
     }
@@ -395,6 +482,8 @@ impl PlatformConfig {
             retry: RetryPolicy::default(),
             read_path: RestoreReadConfig::default(),
             pipeline: DedupPipelineConfig::default(),
+            node_mem_profile: Vec::new(),
+            deploys: DeploySchedule::default(),
         }
     }
 
@@ -424,6 +513,33 @@ impl PlatformConfig {
     /// True when the dedup state is enabled (Medes policy).
     pub fn is_medes(&self) -> bool {
         matches!(self.policy, PolicyKind::Medes(_))
+    }
+
+    /// The memory capacity of `node`: the profile entry when a
+    /// heterogeneous profile is set, the uniform limit otherwise.
+    pub fn node_mem(&self, node: usize) -> usize {
+        self.node_mem_profile
+            .get(node)
+            .copied()
+            .unwrap_or(self.node_mem_bytes)
+    }
+
+    /// Total cluster memory capacity, bytes.
+    pub fn cluster_mem_bytes(&self) -> usize {
+        if self.node_mem_profile.is_empty() {
+            self.nodes * self.node_mem_bytes
+        } else {
+            self.node_mem_profile.iter().sum()
+        }
+    }
+
+    /// The smallest node's capacity (placement feasibility bound).
+    pub fn min_node_mem(&self) -> usize {
+        self.node_mem_profile
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(self.node_mem_bytes)
     }
 }
 
@@ -534,5 +650,96 @@ mod tests {
         );
         // Errors render as actionable messages.
         assert!(ConfigError::ZeroShards.to_string().contains("shard"));
+    }
+
+    #[test]
+    fn hetero_profile_validation() {
+        // Valid: one entry per node, all non-zero.
+        let c = PlatformConfig::builder()
+            .nodes(3)
+            .node_mem_profile(vec![1 << 30, 2 << 30, 3 << 30])
+            .build()
+            .expect("valid hetero profile");
+        assert_eq!(c.node_mem(0), 1 << 30);
+        assert_eq!(c.node_mem(2), 3 << 30);
+        assert_eq!(c.min_node_mem(), 1 << 30);
+        assert_eq!(c.cluster_mem_bytes(), 6 << 30);
+        // Uniform fallback.
+        let u = PlatformConfig::builder().nodes(2).build().unwrap();
+        assert_eq!(u.node_mem(1), u.node_mem_bytes);
+        assert_eq!(u.cluster_mem_bytes(), 2 * u.node_mem_bytes);
+        // Wrong length.
+        assert_eq!(
+            PlatformConfig::builder()
+                .nodes(3)
+                .node_mem_profile(vec![1 << 30])
+                .build()
+                .unwrap_err(),
+            ConfigError::NodeMemProfileLen { nodes: 3, got: 1 }
+        );
+        // Zero entry.
+        assert_eq!(
+            PlatformConfig::builder()
+                .nodes(2)
+                .node_mem_profile(vec![1 << 30, 0])
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroNodeMemProfileEntry { node: 1 }
+        );
+        // Cache must fit the smallest node.
+        assert_eq!(
+            PlatformConfig::builder()
+                .nodes(2)
+                .node_mem_profile(vec![1 << 20, 2 << 30])
+                .read_path(RestoreReadConfig::cached(1 << 25))
+                .build()
+                .unwrap_err(),
+            ConfigError::CacheExceedsNodeMem {
+                cache_bytes: 1 << 25,
+                node_mem_bytes: 1 << 20,
+            }
+        );
+    }
+
+    #[test]
+    fn deploy_and_mixture_validation() {
+        use medes_sim::SimTime;
+        use medes_trace::VersionBump;
+        let sched = DeploySchedule {
+            bumps: vec![VersionBump {
+                function: 0,
+                at: SimTime::from_secs(10),
+                version: 1,
+            }],
+        };
+        let c = PlatformConfig::builder()
+            .deploys(sched.clone())
+            .build()
+            .expect("valid deploy schedule");
+        assert_eq!(c.deploys, sched);
+        assert_eq!(
+            PlatformConfig::builder()
+                .deploys(DeploySchedule {
+                    bumps: vec![VersionBump {
+                        function: 0,
+                        at: SimTime::from_secs(10),
+                        version: 0,
+                    }],
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroDeployVersion { bump: 0 }
+        );
+        assert_eq!(
+            PlatformConfig::builder()
+                .tweak(|c| {
+                    c.content.mixture = medes_mem::ContentModelConfig::paper_calibrated();
+                    c.content.mixture.heap.low_frac = 0.9;
+                    c.content.mixture.heap.medium_frac = 0.5;
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidMixture
+        );
     }
 }

@@ -16,8 +16,10 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct ImageFactory {
     builders: Vec<ImageBuilder>,
-    /// Pinned images (base sandboxes): key = (function, instance seed).
-    pinned: HashMap<(usize, u64), Arc<MemoryImage>>,
+    /// Pinned images (base sandboxes): key = (function, instance seed,
+    /// code version). Rolling deploys give distinct versions distinct
+    /// content, so the version participates in identity.
+    pinned: HashMap<(usize, u64, u64), Arc<MemoryImage>>,
 }
 
 impl ImageFactory {
@@ -50,12 +52,21 @@ impl ImageFactory {
         self.builders.len()
     }
 
-    /// Generates (or fetches, if pinned) the image for a sandbox.
+    /// Generates (or fetches, if pinned) the image for a sandbox at
+    /// code version 0 (the initial deployment — the only version that
+    /// exists without a rolling-deploy schedule).
     pub fn image(&self, func: FnId, instance_seed: u64) -> Arc<MemoryImage> {
-        if let Some(img) = self.pinned.get(&(func.0, instance_seed)) {
+        self.image_v(func, instance_seed, 0)
+    }
+
+    /// Generates (or fetches, if pinned) the image for a sandbox at a
+    /// specific code version. Version 0 is byte-identical to the
+    /// unversioned build.
+    pub fn image_v(&self, func: FnId, instance_seed: u64, version: u64) -> Arc<MemoryImage> {
+        if let Some(img) = self.pinned.get(&(func.0, instance_seed, version)) {
             return Arc::clone(img);
         }
-        Arc::new(self.builders[func.0].build(instance_seed))
+        Arc::new(self.builders[func.0].build_versioned(instance_seed, version))
     }
 
     /// Model-scale page count of a function's image (layout jitter keeps
@@ -65,18 +76,28 @@ impl ImageFactory {
         self.builders[func.0].build(0).page_count()
     }
 
-    /// Pins a base sandbox's image so the registry can reference its
-    /// pages without regeneration cost.
+    /// Pins a base sandbox's image (version 0) so the registry can
+    /// reference its pages without regeneration cost.
     pub fn pin(&mut self, func: FnId, instance_seed: u64) -> Arc<MemoryImage> {
-        let img = self.image(func, instance_seed);
+        self.pin_v(func, instance_seed, 0)
+    }
+
+    /// Pins a base sandbox's image at a specific code version.
+    pub fn pin_v(&mut self, func: FnId, instance_seed: u64, version: u64) -> Arc<MemoryImage> {
+        let img = self.image_v(func, instance_seed, version);
         self.pinned
-            .insert((func.0, instance_seed), Arc::clone(&img));
+            .insert((func.0, instance_seed, version), Arc::clone(&img));
         img
     }
 
-    /// Unpins a base sandbox's image.
+    /// Unpins a base sandbox's image (version 0).
     pub fn unpin(&mut self, func: FnId, instance_seed: u64) {
-        self.pinned.remove(&(func.0, instance_seed));
+        self.unpin_v(func, instance_seed, 0);
+    }
+
+    /// Unpins a base sandbox's image at a specific code version.
+    pub fn unpin_v(&mut self, func: FnId, instance_seed: u64, version: u64) {
+        self.pinned.remove(&(func.0, instance_seed, version));
     }
 
     /// Currently pinned images (≈ base sandboxes alive).
@@ -117,6 +138,28 @@ mod tests {
         let again = f.image(FnId(1), 3);
         assert!(Arc::ptr_eq(&img, &again), "pinned image must be shared");
         f.unpin(FnId(1), 3);
+        assert_eq!(f.pinned_count(), 0);
+    }
+
+    #[test]
+    fn versioned_images_are_distinct_identities() {
+        let mut f = factory();
+        // Version 0 is the unversioned build.
+        let v0 = f.image_v(FnId(0), 7, 0);
+        let legacy = f.image(FnId(0), 7);
+        assert_eq!(v0.page(0), legacy.page(0));
+        // A version bump changes content but not layout.
+        let v1 = f.image_v(FnId(0), 7, 1);
+        assert_eq!(v0.page_count(), v1.page_count());
+        let changed = (0..v0.page_count()).any(|p| v0.page(p) != v1.page(p));
+        assert!(changed, "version bump must perturb some pages");
+        // Pins are per-version: pinning v1 leaves v0 unpinned.
+        let pinned = f.pin_v(FnId(0), 7, 1);
+        let again = f.image_v(FnId(0), 7, 1);
+        assert!(Arc::ptr_eq(&pinned, &again));
+        let v0_again = f.image_v(FnId(0), 7, 0);
+        assert!(!Arc::ptr_eq(&pinned, &v0_again));
+        f.unpin_v(FnId(0), 7, 1);
         assert_eq!(f.pinned_count(), 0);
     }
 

@@ -126,6 +126,13 @@ pub struct RunReport {
     /// Dedup restores that fell back to a cold start after exhausting
     /// retries (§5.3 availability fallback). Zero without faults.
     pub fallback_cold_starts: u64,
+    /// Rolling-deploy version bumps applied over the run (one per
+    /// effective [`medes_trace::VersionBump`]; stale or out-of-range
+    /// bumps are ignored and not counted).
+    pub version_bumps: u64,
+    /// Sandboxes and base registrations purged because their content
+    /// version fell behind their function's deployed version.
+    pub version_purges: u64,
     /// Node crashes injected over the run.
     pub node_crashes: u64,
     /// Node restarts over the run.

@@ -81,13 +81,14 @@ impl Platform {
             self.profiles.len(),
             "trace function table must match the profile catalog"
         );
+        let min_node = self.cfg.min_node_mem();
         for p in &self.profiles {
             assert!(
-                p.memory_bytes <= self.cfg.node_mem_bytes,
-                "function {} needs {} bytes but nodes only have {}",
+                p.memory_bytes <= min_node,
+                "function {} needs {} bytes but the smallest node only has {}",
                 p.name,
                 p.memory_bytes,
-                self.cfg.node_mem_bytes
+                min_node
             );
         }
         let horizon = trace.duration();
@@ -113,6 +114,21 @@ impl Platform {
             if let Some(r) = c.restart {
                 sim.schedule(r, Ev::NodeRestart { node: c.node });
             }
+        }
+        for b in &self.cfg.deploys.bumps {
+            assert!(
+                b.function < self.profiles.len(),
+                "deploy bump targets function {} but the catalog has {}",
+                b.function,
+                self.profiles.len()
+            );
+            sim.schedule(
+                b.at,
+                Ev::VersionBump {
+                    func: b.function,
+                    version: b.version,
+                },
+            );
         }
         sim.run();
         let end = sim.now();
@@ -206,6 +222,13 @@ enum Ev {
     NodeRestart {
         node: usize,
     },
+    /// A rolling deploy reached this function: bump its deployed code
+    /// version, purge stale idle sandboxes, and retire stale base
+    /// registrations from the fingerprint registry.
+    VersionBump {
+        func: usize,
+        version: u64,
+    },
 }
 
 /// Per-node accounting.
@@ -231,6 +254,9 @@ struct Cluster {
     /// Per-node base-page caches for the restore read path. Present in
     /// every run (zero-capacity when disabled, where they are inert).
     caches: Vec<BasePageCache>,
+    /// Deployed code version per function (rolling deploys bump these;
+    /// all zero without a deploy schedule).
+    fn_version: Vec<u64>,
     fixed_ka: Option<FixedKeepAlive>,
     adaptive_ka: Option<AdaptiveKeepAlive>,
     medes: Option<MedesPolicyConfig>,
@@ -267,6 +293,7 @@ impl Cluster {
         let rng = DetRng::new(cfg.seed);
         Cluster {
             nodes: (0..cfg.nodes).map(|_| NodeState::default()).collect(),
+            fn_version: vec![0; profiles.len()],
             fns: profiles.into_iter().map(FunctionRuntime::new).collect(),
             sandboxes: HashMap::new(),
             bases: HashMap::new(),
@@ -310,7 +337,7 @@ impl Cluster {
 
     fn node_free(&self, node: NodeId) -> usize {
         self.cfg
-            .node_mem_bytes
+            .node_mem(node.0)
             .saturating_sub(self.nodes[node.0].mem_used)
     }
 
@@ -471,7 +498,7 @@ impl Cluster {
         if sb.is_base {
             debug_assert_eq!(sb.refcount, 0, "purging a referenced base");
             self.registry.remove_sandbox(id);
-            self.factory.unpin(sb.func, sb.instance_seed);
+            self.factory.unpin_v(sb.func, sb.instance_seed, sb.version);
             self.bases.remove(&id);
             self.fns[sb.func.0].bases.retain(|&b| b != id);
             self.invalidate_cached_base(now, id);
@@ -496,11 +523,11 @@ impl Cluster {
     /// page in the registry, and registers it with its function. The
     /// sandbox stays warm (and stays in the idle-warm pool).
     fn demarcate_base(&mut self, id: SandboxId) {
-        let (func, seed, node) = {
+        let (func, seed, node, version) = {
             let sb = &self.sandboxes[&id];
-            (sb.func, sb.instance_seed, sb.node)
+            (sb.func, sb.instance_seed, sb.node, sb.version)
         };
-        let img = self.factory.pin(func, seed);
+        let img = self.factory.pin_v(func, seed, version);
         index_base_sandbox(&self.cfg, &self.registry, node, id, &img);
         self.bases.insert(id, (func, img));
         self.fns[func.0].bases.push(id);
@@ -601,13 +628,69 @@ impl Cluster {
             // Even a referenced base dies with its node; dependants
             // discover the loss when their restore fails.
             self.registry.remove_sandbox(id);
-            self.factory.unpin(sb.func, sb.instance_seed);
+            self.factory.unpin_v(sb.func, sb.instance_seed, sb.version);
             self.bases.remove(&id);
             self.fns[f].bases.retain(|&b| b != id);
             self.invalidate_cached_base(now, id);
         }
         self.metrics.live_update(now, self.live_count() as f64);
         Some(f)
+    }
+
+    /// Applies a rolling-deploy version bump to one function: records
+    /// the new deployed version (new cold starts pick it up), purges
+    /// every *idle* stale-version sandbox outright, and retires the
+    /// registry/base registrations of stale bases that cannot be purged
+    /// yet (referenced by in-flight dedup tables, or busy serving a
+    /// request) — their pages hold old-version content and must never
+    /// match a new dedup scan. Busy non-base sandboxes are caught at
+    /// `ExecDone`/`DedupDone` via the stale-version check.
+    fn version_bump(&mut self, now: SimTime, f: usize, version: u64) {
+        if f >= self.fns.len() || version <= self.fn_version[f] {
+            return; // out-of-order or duplicate bump: ignore
+        }
+        self.fn_version[f] = version;
+        self.metrics.report.version_bumps += 1;
+        self.obs.incr("medes.platform.version_bumps");
+        // Idle sandboxes (warm and dedup pools) die immediately — their
+        // content is obsolete. Referenced bases are excluded: they are
+        // retired below and die when their refcount drains.
+        let stale: Vec<SandboxId> = self.fns[f]
+            .idle_warm
+            .iter()
+            .chain(self.fns[f].idle_dedup.iter())
+            .map(|&(_, id)| id)
+            .filter(|id| {
+                let sb = &self.sandboxes[id];
+                sb.version < version && !(sb.is_base && sb.refcount > 0)
+            })
+            .collect();
+        for id in stale {
+            self.purge_sandbox(now, id);
+            self.metrics.report.version_purges += 1;
+            self.obs.incr("medes.platform.version_purges");
+        }
+        // Retire stale bases that survived (referenced or busy): drop
+        // their pages from the registry, the demarcation list, and the
+        // read caches so no *new* dedup can match old-version content.
+        // In-flight restores still resolve through `self.bases`.
+        let retired: Vec<SandboxId> = self.fns[f]
+            .bases
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.sandboxes
+                    .get(id)
+                    .is_some_and(|sb| sb.version < version)
+            })
+            .collect();
+        for id in retired {
+            self.registry.remove_sandbox(id);
+            self.fns[f].bases.retain(|&b| b != id);
+            self.invalidate_cached_base(now, id);
+            self.metrics.report.version_purges += 1;
+            self.obs.incr("medes.platform.version_purges");
+        }
     }
 
     /// The §5.2 SLO bound for one function: `α · s_W` microseconds
@@ -697,7 +780,7 @@ impl Cluster {
                 let table = self.sandboxes[&id].dedup_table.clone_for_restore();
                 let verify = if self.cfg.verify_restores {
                     let sb = &self.sandboxes[&id];
-                    Some(self.factory.image(sb.func, sb.instance_seed))
+                    Some(self.factory.image_v(sb.func, sb.instance_seed, sb.version))
                 } else {
                     None
                 };
@@ -737,7 +820,7 @@ impl Cluster {
                     self.reconcile_cache_charge(now, node, cache_before);
                     let over = self.nodes[node.0]
                         .mem_used
-                        .saturating_sub(self.cfg.node_mem_bytes);
+                        .saturating_sub(self.cfg.node_mem(node.0));
                     if over > 0 {
                         let before = self.caches[node.0].used_paper_bytes();
                         self.caches[node.0].trim(over);
@@ -844,7 +927,8 @@ impl Cluster {
         self.next_sandbox += 1;
         let instance_seed = self.rng.next_u64();
         let model_pages = self.factory.model_pages(FnId(f));
-        let sb = Sandbox::new(id, FnId(f), node, instance_seed, now, m_w, model_pages);
+        let sb = Sandbox::new(id, FnId(f), node, instance_seed, now, m_w, model_pages)
+            .with_version(self.fn_version[f]);
         self.sandboxes.insert(id, sb);
         self.nodes[node.0].sandboxes.insert(id);
         self.fns[f].total_sandboxes += 1;
@@ -926,7 +1010,7 @@ impl Cluster {
         // is available" (§5.2.3); the per-node limit is a policy input
         // (§7.2).
         let rt = &self.fns[f];
-        let capacity = self.cfg.nodes * self.cfg.node_mem_bytes;
+        let capacity = self.cfg.cluster_mem_bytes();
         let pressure = self.cluster_mem as f64 > 0.90 * capacity as f64;
         let want_dedup = rt.dedup_total < rt.target.target_dedup || !rt.target.feasible || pressure;
         if !want_dedup || sb.is_base {
@@ -938,9 +1022,9 @@ impl Cluster {
         }
 
         // Run the dedup op.
-        let (func, seed, node) = {
+        let (func, seed, node, version) = {
             let sb = self.sandboxes.get_mut(&id).expect("exists");
-            let info = (sb.func, sb.instance_seed, sb.node);
+            let info = (sb.func, sb.instance_seed, sb.node, sb.version);
             sb.transition(SandboxState::Deduping);
             info
         };
@@ -962,7 +1046,7 @@ impl Cluster {
             }
             return;
         }
-        let image = self.factory.image(func, seed);
+        let image = self.factory.image_v(func, seed, version);
         // A sandbox can dedup more than once over its life, so the
         // dedup trace root is keyed by (sandbox id, initiation time) —
         // both deterministic, so replays mint identical trees.
@@ -1067,7 +1151,7 @@ impl Cluster {
                 id,
                 func: sb.func,
                 node: sb.node,
-                image: self.factory.image(sb.func, sb.instance_seed),
+                image: self.factory.image_v(sb.func, sb.instance_seed, sb.version),
             });
         }
         if items.is_empty() {
@@ -1211,6 +1295,20 @@ impl Cluster {
         let full_model = outcome.table.entries.len() * medes_mem::PAGE_SIZE;
         let saved = outcome.saved_model_bytes();
         let medes = self.medes.clone().expect("dedup requires Medes policy");
+
+        if sb.version < self.fn_version[f] {
+            // A rolling deploy superseded this sandbox mid-dedup: drop
+            // the outcome, release the base pins taken at initiation,
+            // and purge instead of committing obsolete content.
+            self.release_base_refs(&outcome.table);
+            let sb = self.sandboxes.get_mut(&id).expect("exists");
+            sb.transition(SandboxState::Warm);
+            sb.last_used = now;
+            self.purge_sandbox(now, id);
+            self.metrics.report.version_purges += 1;
+            self.obs.incr("medes.platform.version_purges");
+            return;
+        }
 
         if (saved as f64) < MIN_SAVING_FRAC * full_model as f64 {
             // Not worth it: return to warm; release the base pins taken
@@ -1440,14 +1538,25 @@ impl World for Cluster {
                 sb.last_used = now;
                 let epoch = sb.epoch;
                 let f = sb.func.0;
-                self.fns[f].idle_warm.insert((now, id));
-                sched.after(
-                    self.keep_alive_window(f),
-                    Ev::KeepAliveExpire { sb: id, epoch },
-                );
-                if let Some(m) = &self.medes {
-                    if now + m.idle_period <= self.horizon + m.keep_alive {
-                        sched.after(m.idle_period, Ev::IdleCheck { sb: id, epoch });
+                // A rolling deploy superseded this sandbox while it ran:
+                // its content is obsolete, so it dies instead of joining
+                // the warm pool (referenced stale bases must linger until
+                // their dependants release them).
+                let stale = sb.version < self.fn_version[f] && !(sb.is_base && sb.refcount > 0);
+                if stale {
+                    self.purge_sandbox(now, id);
+                    self.metrics.report.version_purges += 1;
+                    self.obs.incr("medes.platform.version_purges");
+                } else {
+                    self.fns[f].idle_warm.insert((now, id));
+                    sched.after(
+                        self.keep_alive_window(f),
+                        Ev::KeepAliveExpire { sb: id, epoch },
+                    );
+                    if let Some(m) = &self.medes {
+                        if now + m.idle_period <= self.horizon + m.keep_alive {
+                            sched.after(m.idle_period, Ev::IdleCheck { sb: id, epoch });
+                        }
                     }
                 }
                 // Serve a queued request with this freshly warm sandbox.
@@ -1567,6 +1676,8 @@ impl World for Cluster {
             }
 
             Ev::NodeCrash { node } => self.node_crash(now, node),
+
+            Ev::VersionBump { func, version } => self.version_bump(now, func, version),
 
             Ev::NodeRestart { node } => {
                 if node < self.nodes.len() && self.nodes[node].down {
@@ -1890,5 +2001,102 @@ mod tests {
         let prom = outcome.obs.export_prometheus();
         assert!(prom.contains("medes_slo_startup_us"));
         assert!(prom.contains("medes_slo_violations_total"));
+    }
+
+    /// Rolling deploys: bumps register, stale sandboxes are purged, and
+    /// the epoch boundary costs cold starts and dedup savings relative
+    /// to the same trace without deploys.
+    #[test]
+    fn version_bumps_purge_stale_sandboxes_and_cost_savings() {
+        let (suite, trace) = small_trace(600, 10.0);
+        let mut cfg = PlatformConfig::small_test();
+        if let PolicyKind::Medes(m) = &mut cfg.policy {
+            m.idle_period = SimDuration::from_secs(5);
+            m.objective = medes_policy::medes::Objective::MemoryBudget {
+                budget_bytes: 100e6,
+            };
+        }
+        let baseline = Platform::new(cfg.clone(), suite.clone()).run(&trace).report;
+        assert_eq!(baseline.version_bumps, 0);
+        assert_eq!(baseline.version_purges, 0);
+
+        // Deploy a new version of every function mid-run.
+        cfg.deploys = medes_trace::DeploySchedule {
+            bumps: (0..suite.len())
+                .map(|f| medes_trace::VersionBump {
+                    function: f,
+                    at: SimTime::from_secs(300),
+                    version: 1,
+                })
+                .collect(),
+        };
+        let deployed = Platform::new(cfg, suite).run(&trace).report;
+        assert_eq!(deployed.version_bumps, 4, "every bump must register");
+        assert!(deployed.version_purges > 0, "stale sandboxes must die");
+        assert_eq!(deployed.requests.len(), trace.len());
+        assert!(
+            deployed.total_cold_starts() > baseline.total_cold_starts(),
+            "invalidating warm pools must cost cold starts ({} vs {})",
+            deployed.total_cold_starts(),
+            baseline.total_cold_starts()
+        );
+        // Replays stay bit-identical with a deploy schedule in play.
+        let mut cfg2 = PlatformConfig::small_test();
+        if let PolicyKind::Medes(m) = &mut cfg2.policy {
+            m.idle_period = SimDuration::from_secs(5);
+            m.objective = medes_policy::medes::Objective::MemoryBudget {
+                budget_bytes: 100e6,
+            };
+        }
+        cfg2.deploys = medes_trace::DeploySchedule {
+            bumps: (0..deployed.functions.len())
+                .map(|f| medes_trace::VersionBump {
+                    function: f,
+                    at: SimTime::from_secs(300),
+                    version: 1,
+                })
+                .collect(),
+        };
+        let (suite2, trace2) = small_trace(600, 10.0);
+        let replay = Platform::new(cfg2, suite2).run(&trace2).report;
+        assert_eq!(deployed, replay, "deploy runs must replay bit-identically");
+    }
+
+    /// Heterogeneous node memories: the run respects each node's own
+    /// limit and the per-node free-memory accounting uses the profile.
+    #[test]
+    fn hetero_node_memory_profile_is_respected() {
+        let (suite, trace) = small_trace(600, 15.0);
+        let mut cfg = PlatformConfig::small_test()
+            .with_policy(PolicyKind::FixedKeepAlive(SimDuration::from_mins(10)));
+        cfg.nodes = 4;
+        // One big node, two mid, one small (still fits the largest fn).
+        cfg.node_mem_profile = vec![400 << 20, 200 << 20, 200 << 20, 100 << 20];
+        let cap: usize = cfg.node_mem_profile.iter().sum();
+        assert_eq!(cfg.cluster_mem_bytes(), cap);
+        let report = Platform::new(cfg, suite).run(&trace).report;
+        assert_eq!(report.requests.len(), trace.len());
+        for &(_, mem) in &report.mem_series {
+            assert!(
+                mem <= cap as f64 * 1.05,
+                "memory {mem} exceeds hetero capacity {cap}"
+            );
+        }
+    }
+
+    /// An empty deploy schedule and an empty memory profile must leave
+    /// the default run byte-identical (the golden-path guard for the
+    /// fig7/fig9/chaos experiments).
+    #[test]
+    fn empty_deploys_and_profile_match_default_run_exactly() {
+        let (suite, trace) = small_trace(300, 5.0);
+        let base = Platform::new(PlatformConfig::small_test(), suite.clone())
+            .run(&trace)
+            .report;
+        let mut cfg = PlatformConfig::small_test();
+        cfg.deploys = medes_trace::DeploySchedule::default();
+        cfg.node_mem_profile = vec![cfg.node_mem_bytes; cfg.nodes];
+        let explicit = Platform::new(cfg, suite).run(&trace).report;
+        assert_eq!(base, explicit);
     }
 }

@@ -145,6 +145,11 @@ pub struct Sandbox {
     pub state: SandboxState,
     /// Content seed: the image is a pure function of (spec, this).
     pub instance_seed: u64,
+    /// Function code version the sandbox was spawned with (rolling
+    /// deploys bump the function's deployed version; sandboxes built
+    /// from an older version are purged once idle). Version 0 is the
+    /// initial deployment.
+    pub version: u64,
     /// Last time the sandbox finished serving a request.
     pub last_used: SimTime,
     /// Creation time.
@@ -185,6 +190,7 @@ impl Sandbox {
             node,
             state: SandboxState::Spawning,
             instance_seed,
+            version: 0,
             last_used: now,
             created: now,
             epoch: 0,
@@ -195,6 +201,14 @@ impl Sandbox {
             mem_paper_bytes,
             model_pages,
         }
+    }
+
+    /// Sets the content version (builder style; used at spawn time so
+    /// [`Sandbox::new`] keeps its legacy arity).
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
     }
 
     /// Transitions the state machine, bumping the timer epoch.

@@ -18,7 +18,154 @@
 //! the measured redundancy-vs-chunk-size slope of Fig 1a: a 64 B chunk
 //! rarely intersects a burst, a 1 KiB chunk often does.
 
+use crate::region::RegionKind;
 use medes_sim::DetRng;
+
+/// Per-region entropy-mixture weights ("region hints", after the ETH
+/// page-merging paper): what fraction of a region's tiles come from the
+/// low-entropy pattern pool, the medium-entropy pool, and the
+/// instance-unique high-entropy pool. The remainder is stream-shared
+/// high-entropy content. `dispersed_noise` is a per-byte, per-instance
+/// i.i.d. mutation probability layered over the whole region —
+/// unlike the clustered bursts of [`ContentModel::apply_noise`], it is
+/// visible to fingerprint sampling at every chunk size, which is what
+/// un-flattens the fig 14/16 sensitivity sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionMix {
+    /// Fraction of tiles from the low-entropy pattern pool.
+    pub low_frac: f64,
+    /// Fraction of tiles from the medium-entropy pool (stream-shared,
+    /// ~4 bits/byte from a 16-symbol alphabet).
+    pub medium_frac: f64,
+    /// Fraction of instance-unique high-entropy tiles.
+    pub unique_frac: f64,
+    /// Per-byte per-instance dispersed mutation probability.
+    pub dispersed_noise: f64,
+}
+
+impl RegionMix {
+    /// True when the fractions are probabilities summing to ≤ 1.
+    pub fn is_valid(&self) -> bool {
+        let fr = [self.low_frac, self.medium_frac, self.unique_frac];
+        fr.iter().all(|f| (0.0..=1.0).contains(f))
+            && fr.iter().sum::<f64>() <= 1.0 + 1e-9
+            && self.dispersed_noise >= 0.0
+            && self.dispersed_noise < 1.0
+    }
+}
+
+/// Configuration of the entropy-mixture content model. Default-off: with
+/// `enabled == false` (and version 0) every byte produced by
+/// [`ContentModel`] is identical to the legacy single-mixture model, so
+/// existing experiments (fig7/fig9/chaos) replay byte-for-byte.
+///
+/// `version_mutation_frac` applies even when the mixture is disabled: a
+/// rolling-deploy version epoch remaps that fraction of stream-shared
+/// and medium tiles to fresh content, modelling a code/data update that
+/// invalidates previously demarcated base pages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentModelConfig {
+    /// Master switch for the per-region mixture + dispersed noise.
+    pub enabled: bool,
+    /// Mixture for the runtime region (interpreter text/data; heavily
+    /// dirtied in practice by refcount/GC writes).
+    pub runtime: RegionMix,
+    /// Mixture for shared-library regions.
+    pub library: RegionMix,
+    /// Mixture for file-backed mappings.
+    pub filemap: RegionMix,
+    /// Mixture for the heap.
+    pub heap: RegionMix,
+    /// Mixture for the stack.
+    pub stack: RegionMix,
+    /// Fraction of shared/medium tiles remapped per version epoch.
+    pub version_mutation_frac: f64,
+}
+
+impl ContentModelConfig {
+    /// The mixture switched off (legacy byte-identical model); version
+    /// epochs still remap `version_mutation_frac` of shared tiles.
+    pub fn disabled() -> Self {
+        ContentModelConfig {
+            enabled: false,
+            ..Self::paper_calibrated()
+        }
+    }
+
+    /// Region weights calibrated so that Table 3 per-function savings
+    /// land inside the paper's 16–58 % band and the fig 14/16 sweeps
+    /// regain their chunk-size / cardinality sensitivity (see
+    /// `EXPERIMENTS.md`). Runtime pages carry the most dispersed noise
+    /// (refcount dirtying), heap the most instance-unique content.
+    pub fn paper_calibrated() -> Self {
+        ContentModelConfig {
+            enabled: true,
+            runtime: RegionMix {
+                low_frac: 0.40,
+                medium_frac: 0.30,
+                unique_frac: 0.0,
+                dispersed_noise: 1.0 / 45.0,
+            },
+            library: RegionMix {
+                low_frac: 0.42,
+                medium_frac: 0.30,
+                unique_frac: 0.0,
+                dispersed_noise: 1.0 / 60.0,
+            },
+            filemap: RegionMix {
+                low_frac: 0.45,
+                medium_frac: 0.30,
+                unique_frac: 0.0,
+                dispersed_noise: 1.0 / 90.0,
+            },
+            heap: RegionMix {
+                low_frac: 0.30,
+                medium_frac: 0.30,
+                unique_frac: 0.18,
+                dispersed_noise: 1.0 / 150.0,
+            },
+            stack: RegionMix {
+                low_frac: 0.32,
+                medium_frac: 0.28,
+                unique_frac: 0.15,
+                dispersed_noise: 1.0 / 120.0,
+            },
+            version_mutation_frac: 0.35,
+        }
+    }
+
+    /// The region weights for `kind`.
+    pub fn mix_for(&self, kind: RegionKind) -> &RegionMix {
+        match kind {
+            RegionKind::Runtime => &self.runtime,
+            RegionKind::Library => &self.library,
+            RegionKind::FileMap => &self.filemap,
+            RegionKind::Heap => &self.heap,
+            RegionKind::Stack => &self.stack,
+        }
+    }
+
+    /// True when every region mixture and the version fraction are
+    /// valid probabilities.
+    pub fn is_valid(&self) -> bool {
+        [
+            &self.runtime,
+            &self.library,
+            &self.filemap,
+            &self.heap,
+            &self.stack,
+        ]
+        .iter()
+        .all(|m| m.is_valid())
+            && (0.0..=1.0).contains(&self.version_mutation_frac)
+    }
+}
+
+impl Default for ContentModelConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
 
 /// Tunable knobs of the synthetic content model. Defaults are calibrated
 /// against the paper's Fig 1a/1c (see `EXPERIMENTS.md`).
@@ -47,6 +194,9 @@ pub struct ContentModel {
     /// Heap layout jitter: per-page probability of skipping one shared
     /// page of the stream.
     pub heap_skip_prob: f64,
+    /// Entropy-mixture configuration (default-off; see
+    /// [`ContentModelConfig`]).
+    pub mixture: ContentModelConfig,
 }
 
 impl Default for ContentModel {
@@ -61,6 +211,7 @@ impl Default for ContentModel {
             ptr_per_word: 0.05,
             heap_insert_prob: 0.05,
             heap_skip_prob: 0.05,
+            mixture: ContentModelConfig::disabled(),
         }
     }
 }
@@ -74,6 +225,9 @@ pub enum TileKind {
     Shared,
     /// Instance-unique content.
     Unique,
+    /// Stream-shared medium-entropy content (~4 bits/byte), only
+    /// produced when the entropy mixture is enabled.
+    Medium,
 }
 
 const KIND_SALT: u64 = 0x7EA5_0001;
@@ -81,6 +235,9 @@ const SHARED_SALT: u64 = 0x7EA5_0002;
 const UNIQUE_SALT: u64 = 0x7EA5_0003;
 const PTR_SALT: u64 = 0x7EA5_0004;
 const PATTERN_SALT: u64 = 0x7EA5_0005;
+const MEDIUM_SALT: u64 = 0x7EA5_0006;
+const VERSION_SALT: u64 = 0x7EA5_0007;
+const DISPERSED_SALT: u64 = 0xD15E;
 
 fn mix(a: u64, b: u64) -> u64 {
     let mut x = a ^ b.rotate_left(23) ^ 0x9E3779B97F4A7C15u64.wrapping_mul(b.wrapping_add(1));
@@ -118,6 +275,61 @@ impl ContentModel {
         }
     }
 
+    /// Region-aware tile-kind decision. With the mixture disabled this
+    /// is exactly [`ContentModel::tile_kind_for`] (byte-identical hash
+    /// path); with it enabled, the per-region [`RegionMix`] weights pick
+    /// between the low/medium/high-entropy pools.
+    pub fn tile_kind_region(
+        &self,
+        stream_seed: u64,
+        idx: u64,
+        region: RegionKind,
+        allow_unique: bool,
+    ) -> TileKind {
+        if !self.mixture.enabled {
+            return self.tile_kind_for(stream_seed, idx, allow_unique);
+        }
+        let w = self.mixture.mix_for(region);
+        let h = mix(mix(stream_seed, KIND_SALT), idx);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u < w.unique_frac {
+            TileKind::Unique
+        } else if u < w.unique_frac + w.low_frac {
+            let v = mix(h, PATTERN_SALT);
+            let uu = (v >> 11) as f64 / (1u64 << 53) as f64;
+            let pid = ((uu * uu * uu) * self.pattern_pool as f64) as u32;
+            TileKind::Pattern(pid.min(self.pattern_pool as u32 - 1))
+        } else if u < w.unique_frac + w.low_frac + w.medium_frac {
+            TileKind::Medium
+        } else {
+            TileKind::Shared
+        }
+    }
+
+    /// The salt a version epoch applies to shared/medium tile content:
+    /// 0 when the tile is untouched by every epoch up to `version`
+    /// (including always at version 0), otherwise a value derived from
+    /// the last epoch that remapped it. Each epoch independently remaps
+    /// `version_mutation_frac` of the stream's shared tiles.
+    pub fn epoch_salt(&self, stream_seed: u64, idx: u64, version: u64) -> u64 {
+        if version == 0 {
+            return 0;
+        }
+        let f = self.mixture.version_mutation_frac;
+        if f <= 0.0 {
+            return 0;
+        }
+        let mut salt = 0u64;
+        for e in 1..=version {
+            let h = mix(mix(stream_seed, VERSION_SALT), mix(idx, e));
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if u < f {
+                salt = mix(VERSION_SALT, e);
+            }
+        }
+        salt
+    }
+
     /// Materializes one tile into `out` (`out.len() == tile_size`).
     ///
     /// `region_base`/`region_len` parameterize pointer values planted in
@@ -134,11 +346,41 @@ impl ContentModel {
         region_base: u64,
         region_len: u64,
     ) {
+        self.fill_tile_v(
+            out,
+            kind,
+            stream_seed,
+            idx,
+            instance_seed,
+            region_base,
+            region_len,
+            0,
+        );
+    }
+
+    /// Version-aware [`ContentModel::fill_tile`]: at `version > 0`,
+    /// shared/medium tiles remapped by an epoch (see
+    /// [`ContentModel::epoch_salt`]) get fresh content; pattern and
+    /// unique tiles are version-invariant. `version == 0` is
+    /// byte-identical to `fill_tile`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fill_tile_v(
+        &self,
+        out: &mut [u8],
+        kind: TileKind,
+        stream_seed: u64,
+        idx: u64,
+        instance_seed: u64,
+        region_base: u64,
+        region_len: u64,
+        version: u64,
+    ) {
         debug_assert_eq!(out.len(), self.tile_size);
         match kind {
             TileKind::Pattern(pid) => self.fill_pattern(out, pid),
             TileKind::Shared => {
-                let mut rng = DetRng::new(mix(mix(stream_seed, SHARED_SALT), idx));
+                let vsalt = self.epoch_salt(stream_seed, idx, version);
+                let mut rng = DetRng::new(mix(mix(stream_seed, SHARED_SALT), idx) ^ vsalt);
                 rng.fill_bytes(out);
                 self.plant_pointers(out, stream_seed, idx, region_base, region_len);
             }
@@ -146,6 +388,17 @@ impl ContentModel {
                 let mut rng =
                     DetRng::new(mix(mix(stream_seed, UNIQUE_SALT), mix(instance_seed, idx)));
                 rng.fill_bytes(out);
+            }
+            TileKind::Medium => {
+                let vsalt = self.epoch_salt(stream_seed, idx, version);
+                let mut rng = DetRng::new(mix(mix(stream_seed, MEDIUM_SALT), idx) ^ vsalt);
+                // 16-symbol alphabet -> ~4 bits/byte of Shannon entropy:
+                // compressible, but far from the pattern pool's motifs.
+                let mut alphabet = [0u8; 16];
+                rng.fill_bytes(&mut alphabet);
+                for b in out.iter_mut() {
+                    *b = alphabet[rng.below(16) as usize];
+                }
             }
         }
     }
@@ -213,6 +466,32 @@ impl ContentModel {
             pos = end + rng.exponential(mean_gap) as usize + 1;
         }
     }
+
+    /// Overlays per-instance *dispersed* (i.i.d. per-byte) divergence at
+    /// `rate`, modelling working-set dirtying such as interpreter
+    /// refcount writes. Unlike [`ContentModel::apply_noise`] the
+    /// mutations are spread out, so every fingerprint chunk has an
+    /// independent chance of being touched — that restores the
+    /// chunk-size and cardinality sensitivity of fig 14/16. Only called
+    /// when the mixture is enabled.
+    pub fn apply_dispersed_noise(
+        &self,
+        data: &mut [u8],
+        region_seed: u64,
+        instance_seed: u64,
+        rate: f64,
+    ) {
+        if rate <= 0.0 || data.is_empty() {
+            return;
+        }
+        let mut rng = DetRng::new(mix(mix(region_seed, instance_seed), DISPERSED_SALT));
+        let mean_gap = 1.0 / rate;
+        let mut pos = rng.exponential(mean_gap) as usize;
+        while pos < data.len() {
+            data[pos] = rng.next_u8();
+            pos += rng.exponential(mean_gap) as usize + 1;
+        }
+    }
 }
 
 /// Exposes the internal mixer for modules that need consistent derived
@@ -247,7 +526,7 @@ mod tests {
             match m.tile_kind(7, idx) {
                 TileKind::Pattern(_) => pattern += 1,
                 TileKind::Unique => unique += 1,
-                TileKind::Shared => {}
+                TileKind::Shared | TileKind::Medium => {}
             }
         }
         let pf = pattern as f64 / n as f64;
@@ -324,6 +603,150 @@ mod tests {
         let mut c = vec![0u8; 1 << 20];
         m.apply_noise(&mut c, 1, 3);
         assert_ne!(a, c, "different instances get different noise");
+    }
+
+    fn mixture_model() -> ContentModel {
+        ContentModel {
+            mixture: ContentModelConfig::paper_calibrated(),
+            ..model()
+        }
+    }
+
+    /// Shannon entropy of a byte slice, in bits per byte.
+    fn shannon_bits(data: &[u8]) -> f64 {
+        let mut counts = [0u64; 256];
+        for &b in data {
+            counts[b as usize] += 1;
+        }
+        let n = data.len() as f64;
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn mixture_disabled_is_byte_identical_to_legacy() {
+        let legacy = model();
+        let off = ContentModel {
+            mixture: ContentModelConfig::disabled(),
+            ..model()
+        };
+        let mut a = vec![0u8; legacy.tile_size];
+        let mut b = vec![0u8; legacy.tile_size];
+        for idx in 0..200 {
+            let ka = legacy.tile_kind_for(42, idx, true);
+            let kb = off.tile_kind_region(42, idx, RegionKind::Heap, true);
+            assert_eq!(ka, kb, "tile {idx}");
+            legacy.fill_tile(&mut a, ka, 42, idx, 7, 0x5000, 1 << 20);
+            off.fill_tile_v(&mut b, kb, 42, idx, 7, 0x5000, 1 << 20, 0);
+            assert_eq!(a, b, "tile {idx}");
+        }
+    }
+
+    #[test]
+    fn mixture_entropy_buckets_match_region_weights() {
+        let m = mixture_model();
+        let w = *m.mixture.mix_for(RegionKind::Heap);
+        let n = 20_000u64;
+        let mut buf = vec![0u8; m.tile_size];
+        let (mut low, mut medium, mut high) = (0u64, 0u64, 0u64);
+        for idx in 0..n {
+            let kind = m.tile_kind_region(99, idx, RegionKind::Heap, true);
+            m.fill_tile_v(&mut buf, kind, 99, idx, 1234, 0x5000, 1 << 20, 0);
+            // Bucket by *measured* entropy, not by the kind label: the
+            // pools must be separable in the produced bytes themselves.
+            let bits = shannon_bits(&buf);
+            if bits < 2.5 {
+                low += 1;
+            } else if bits < 6.0 {
+                medium += 1;
+            } else {
+                high += 1;
+            }
+        }
+        let lf = low as f64 / n as f64;
+        let mf = medium as f64 / n as f64;
+        let hf = high as f64 / n as f64;
+        let want_high = 1.0 - w.low_frac - w.medium_frac;
+        assert!((lf - w.low_frac).abs() < 0.05, "low bucket {lf}");
+        assert!((mf - w.medium_frac).abs() < 0.05, "medium bucket {mf}");
+        assert!((hf - want_high).abs() < 0.05, "high bucket {hf}");
+    }
+
+    #[test]
+    fn version_epoch_remaps_configured_tile_fraction() {
+        let m = mixture_model();
+        let frac = m.mixture.version_mutation_frac;
+        let n = 10_000u64;
+        let mut v0 = vec![0u8; m.tile_size];
+        let mut v1 = vec![0u8; m.tile_size];
+        let (mut shared, mut changed) = (0u64, 0u64);
+        for idx in 0..n {
+            let kind = m.tile_kind_region(7, idx, RegionKind::Heap, true);
+            if !matches!(kind, TileKind::Shared | TileKind::Medium) {
+                continue;
+            }
+            shared += 1;
+            m.fill_tile_v(&mut v0, kind, 7, idx, 1, 0x5000, 1 << 20, 0);
+            m.fill_tile_v(&mut v1, kind, 7, idx, 1, 0x5000, 1 << 20, 1);
+            if v0 != v1 {
+                changed += 1;
+            }
+        }
+        assert!(shared > 1000, "need a meaningful shared-tile sample");
+        let cf = changed as f64 / shared as f64;
+        assert!(
+            cf >= 0.8 * frac && cf <= 1.2 * frac,
+            "epoch changed {cf:.3} of shared tiles, configured {frac}"
+        );
+        // Version 0 must be byte-identical to the unversioned fill.
+        for idx in 0..50 {
+            let kind = m.tile_kind_region(7, idx, RegionKind::Heap, true);
+            m.fill_tile(&mut v0, kind, 7, idx, 1, 0x5000, 1 << 20);
+            m.fill_tile_v(&mut v1, kind, 7, idx, 1, 0x5000, 1 << 20, 0);
+            assert_eq!(v0, v1);
+        }
+    }
+
+    #[test]
+    fn dispersed_noise_is_deterministic_and_spread() {
+        let m = mixture_model();
+        let mut a = vec![0u8; 1 << 18];
+        let mut b = vec![0u8; 1 << 18];
+        m.apply_dispersed_noise(&mut a, 1, 2, 1.0 / 64.0);
+        m.apply_dispersed_noise(&mut b, 1, 2, 1.0 / 64.0);
+        assert_eq!(a, b);
+        let dirty = a.iter().filter(|&&x| x != 0).count();
+        // ~ len/64 mutations, minus ~1/256 that draw zero.
+        let expected = (1 << 18) / 64;
+        assert!(
+            dirty > expected / 2 && dirty < expected * 2,
+            "dirty {dirty} vs expected {expected}"
+        );
+        // Unlike clustered bursts, mutations should rarely be adjacent.
+        let adjacent = a.windows(2).filter(|w| w[0] != 0 && w[1] != 0).count();
+        assert!(
+            adjacent < dirty / 10,
+            "dispersed noise should not cluster: {adjacent} adjacent of {dirty}"
+        );
+        let mut c = vec![0u8; 1 << 18];
+        m.apply_dispersed_noise(&mut c, 1, 3, 1.0 / 64.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mixture_config_validation() {
+        assert!(ContentModelConfig::disabled().is_valid());
+        assert!(ContentModelConfig::paper_calibrated().is_valid());
+        let mut bad = ContentModelConfig::paper_calibrated();
+        bad.heap.low_frac = 0.9;
+        bad.heap.medium_frac = 0.5;
+        assert!(!bad.is_valid());
     }
 
     #[test]

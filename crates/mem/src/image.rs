@@ -79,6 +79,14 @@ impl ImageBuilder {
 
     /// Materializes the image for `instance_seed`.
     pub fn build(&self, instance_seed: u64) -> MemoryImage {
+        self.build_versioned(instance_seed, 0)
+    }
+
+    /// Materializes the image for `instance_seed` at deploy `version`.
+    /// Version 0 is byte-identical to [`ImageBuilder::build`]; a higher
+    /// version remaps `ContentModelConfig::version_mutation_frac` of
+    /// each stream's shared/medium tiles per epoch (rolling deploys).
+    pub fn build_versioned(&self, instance_seed: u64, version: u64) -> MemoryImage {
         let mut regions = Vec::new();
 
         // Runtime + libraries: shared streams keyed by library identity.
@@ -99,6 +107,7 @@ impl ImageBuilder {
                 size,
                 instance_seed,
                 Layout::Direct,
+                version,
             ));
         }
 
@@ -119,6 +128,7 @@ impl ImageBuilder {
             self.scaled(filemap_paper),
             instance_seed,
             Layout::Direct,
+            version,
         ));
 
         let heap_stream = mix_seed(self.spec.seed(), HEAP_SALT);
@@ -130,6 +140,7 @@ impl ImageBuilder {
             self.scaled(heap_paper),
             instance_seed,
             Layout::Jittered,
+            version,
         ));
 
         let stack_stream = mix_seed(self.spec.seed(), STACK_SALT);
@@ -141,6 +152,7 @@ impl ImageBuilder {
             self.scaled(stack_paper),
             instance_seed,
             Layout::Direct,
+            version,
         );
         let shift = self.aslr.stack_shift(stack_stream, instance_seed);
         rotate_content(&mut stack.data, shift);
@@ -159,6 +171,7 @@ impl ImageBuilder {
         size: usize,
         instance_seed: u64,
         layout: Layout,
+        version: u64,
     ) -> Region {
         let m = &self.model;
         let va_base = self
@@ -209,10 +222,10 @@ impl ImageBuilder {
             let tk = if forced_unique {
                 TileKind::Unique
             } else {
-                m.tile_kind_for(stream_seed, tile_idx, allow_unique)
+                m.tile_kind_region(stream_seed, tile_idx, kind, allow_unique)
             };
             let out = &mut data[slot * m.tile_size..(slot + 1) * m.tile_size];
-            m.fill_tile(
+            m.fill_tile_v(
                 out,
                 tk,
                 stream_seed,
@@ -220,10 +233,19 @@ impl ImageBuilder {
                 instance_seed,
                 va_base,
                 size as u64,
+                version,
             );
         }
 
         m.apply_noise(&mut data, stream_seed, instance_seed);
+        if m.mixture.enabled {
+            m.apply_dispersed_noise(
+                &mut data,
+                stream_seed,
+                instance_seed,
+                m.mixture.mix_for(kind).dispersed_noise,
+            );
+        }
 
         Region {
             kind,
@@ -468,6 +490,67 @@ mod tests {
             .total_bytes();
         let ratio = s1 as f64 / s16 as f64;
         assert!((8.0..24.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn version_zero_matches_unversioned_build() {
+        for mixture in [
+            crate::content::ContentModelConfig::disabled(),
+            crate::content::ContentModelConfig::paper_calibrated(),
+        ] {
+            let b = builder().with_model(ContentModel {
+                mixture,
+                ..ContentModel::default()
+            });
+            let a = b.build(9);
+            let v0 = b.build_versioned(9, 0);
+            assert_eq!(a.page_count(), v0.page_count());
+            for i in 0..a.page_count() {
+                assert_eq!(a.page(i), v0.page(i), "page {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_changes_pages_without_changing_layout() {
+        let b = builder();
+        let v0 = b.build_versioned(9, 0);
+        let v1 = b.build_versioned(9, 1);
+        assert_eq!(v0.page_count(), v1.page_count(), "layout is stable");
+        let changed = (0..v0.page_count())
+            .filter(|&i| v0.page(i) != v1.page(i))
+            .count();
+        assert!(changed > 0, "a version epoch must remap some pages");
+        assert!(
+            changed < v0.page_count(),
+            "pattern/unique pages are version-invariant"
+        );
+        // Epochs are cumulative and deterministic.
+        let v1b = b.build_versioned(9, 1);
+        for i in 0..v1.page_count() {
+            assert_eq!(v1.page(i), v1b.page(i));
+        }
+    }
+
+    #[test]
+    fn mixture_reduces_cross_instance_identity() {
+        let plain = builder();
+        let mixed = builder().with_model(ContentModel {
+            mixture: crate::content::ContentModelConfig::paper_calibrated(),
+            ..ContentModel::default()
+        });
+        let identical = |a: &MemoryImage, b: &MemoryImage| {
+            (0..a.page_count())
+                .filter(|&i| a.page(i) == b.page(i))
+                .count() as f64
+                / a.page_count() as f64
+        };
+        let p = identical(&plain.build(1), &plain.build(2));
+        let m = identical(&mixed.build(1), &mixed.build(2));
+        assert!(
+            m < p,
+            "dispersed noise must lower the identical-page fraction: {m} vs {p}"
+        );
     }
 
     #[test]

@@ -35,6 +35,12 @@
 //! divergence), which breaks page alignment without destroying
 //! chunk-level redundancy.
 //!
+//! An optional **entropy mixture** ([`content::ContentModelConfig`],
+//! default-off so legacy runs stay byte-identical) refines this into
+//! per-region low/medium/high-entropy pools with per-instance dispersed
+//! noise and per-version-epoch tile remapping (rolling deploys) — see
+//! `DESIGN.md` §13.
+//!
 //! Everything is a pure function of `(spec, instance_seed, config)` —
 //! images can be regenerated at will, so the platform never needs to
 //! retain warm sandboxes' bytes.
@@ -51,7 +57,7 @@ pub mod region;
 pub mod spec;
 
 pub use aslr::AslrConfig;
-pub use content::ContentModel;
+pub use content::{ContentModel, ContentModelConfig, RegionMix, TileKind};
 pub use image::{ImageBuilder, MemoryImage};
 pub use page::PAGE_SIZE;
 pub use redundancy::{redundancy, RedundancyReport};

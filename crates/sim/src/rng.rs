@@ -200,6 +200,27 @@ impl DetRng {
         x_m / u.powf(1.0 / alpha)
     }
 
+    /// Zipf sample over `[0, n)` with exponent `s`: rank `r` is drawn
+    /// with probability proportional to `1 / (r + 1)^s`. Used for
+    /// multi-tenant popularity skew (a handful of tenants dominate
+    /// invocation volume). Linear in `n` per draw, which is fine for
+    /// the tenant/function cardinalities the workload generators use.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0, "zipf(0) is meaningless");
+        let norm: f64 = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).sum();
+        let mut u = self.f64() * norm;
+        for r in 0..n {
+            u -= 1.0 / ((r + 1) as f64).powf(s);
+            if u <= 0.0 {
+                return r;
+            }
+        }
+        n - 1
+    }
+
     /// Geometric sample: number of failures before the first success with
     /// per-trial probability `p`.
     pub fn geometric(&mut self, p: f64) -> u64 {
@@ -375,6 +396,32 @@ mod tests {
         let c = seed_from_bytes(b"pandas");
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = DetRng::new(14);
+        let n = 8u64;
+        let mut counts = [0u64; 8];
+        for _ in 0..40_000 {
+            let r = rng.zipf(n, 1.2);
+            assert!(r < n);
+            counts[r as usize] += 1;
+        }
+        // Rank 0 must dominate and the tail must decay monotonically
+        // enough that the head outdraws the last rank by a wide margin.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        assert!(counts[0] > 8 * counts[7]);
+        // Expected head mass for s=1.2, n=8 is ~40%; check coarsely.
+        let frac0 = counts[0] as f64 / 40_000.0;
+        assert!((0.30..0.55).contains(&frac0), "head mass {frac0}");
+        // Deterministic under the same seed.
+        let mut a = DetRng::new(15);
+        let mut b = DetRng::new(15);
+        for _ in 0..100 {
+            assert_eq!(a.zipf(5, 0.9), b.zipf(5, 0.9));
+        }
     }
 
     #[test]

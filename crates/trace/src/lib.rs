@@ -20,8 +20,14 @@
 
 pub mod azure;
 pub mod functionbench;
+pub mod scenarios;
 pub mod trace;
 
 pub use azure::{azure_like_trace, ArrivalPattern, TraceGenConfig};
 pub use functionbench::{functionbench_suite, FunctionProfile};
+pub use scenarios::{
+    all_scenarios, flash_crowd_scenario, hetero_memory_scenario, preemption_wave_scenario,
+    rolling_deploy_scenario, tenant_skew_scenario, DeploySchedule, Scenario, ScenarioConfig,
+    ScenarioKind, VersionBump,
+};
 pub use trace::{Invocation, Trace};

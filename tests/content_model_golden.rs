@@ -1,0 +1,125 @@
+//! Golden default-off regression for the entropy-mixture content model.
+//!
+//! The mixture (`ContentModelConfig`) must be a strictly opt-in layer:
+//! with it off — the default — every existing experiment regime
+//! (fig7-style latency-target, fig9-style memory-budget, chaos-style
+//! fault injection) must produce a `RunReport` byte-identical to one
+//! from a config that never mentions the mixture at all. `RunReport`
+//! derives `PartialEq` over every field — request records, memory
+//! series, per-function stats, fault counters — so equality here is the
+//! byte-identical guarantee. And turning the mixture on must actually
+//! change the run, proving the knob is live rather than ignored.
+
+use medes::mem::{ContentModel, ContentModelConfig};
+use medes::platform::config::{PlatformConfig, PolicyKind};
+use medes::platform::metrics::RunReport;
+use medes::platform::Platform;
+use medes::policy::medes::Objective;
+use medes::sim::fault::{FaultPlan, NodeCrash};
+use medes::sim::{SimDuration, SimTime};
+use medes::trace::{azure_like_trace, functionbench_suite, FunctionProfile, Trace, TraceGenConfig};
+
+fn workload(secs: u64) -> (Vec<FunctionProfile>, Trace) {
+    let suite: Vec<FunctionProfile> = functionbench_suite().into_iter().take(4).collect();
+    let names: Vec<String> = suite.iter().map(|p| p.name.clone()).collect();
+    let trace = azure_like_trace(
+        &names,
+        &TraceGenConfig {
+            duration_secs: secs,
+            scale: 8.0,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    (suite, trace)
+}
+
+/// fig7-style: Medes under the latency-target objective (P1).
+fn latency_target_config() -> PlatformConfig {
+    let mut cfg = PlatformConfig::small_test();
+    if let PolicyKind::Medes(m) = &mut cfg.policy {
+        m.idle_period = SimDuration::from_secs(5);
+        m.objective = Objective::LatencyTarget { alpha: 50.0 };
+    }
+    cfg
+}
+
+/// fig9-style: Medes under the memory-budget objective (P2).
+fn memory_budget_config() -> PlatformConfig {
+    let mut cfg = PlatformConfig::small_test();
+    if let PolicyKind::Medes(m) = &mut cfg.policy {
+        m.idle_period = SimDuration::from_secs(5);
+        m.objective = Objective::MemoryBudget {
+            budget_bytes: 100e6,
+        };
+    }
+    cfg
+}
+
+/// chaos-style: the memory-budget config plus a node crash mid-trace.
+fn chaos_config() -> PlatformConfig {
+    let mut cfg = memory_budget_config();
+    cfg.faults = FaultPlan {
+        seed: 0xFA17,
+        crashes: vec![NodeCrash {
+            node: 0,
+            at: SimTime::from_secs(200),
+            restart: Some(SimTime::from_secs(300)),
+        }],
+        links: Vec::new(),
+        rpc_drop_prob: 0.01,
+    };
+    cfg
+}
+
+fn run(cfg: PlatformConfig) -> RunReport {
+    let (suite, trace) = workload(420);
+    Platform::new(cfg, suite).run(&trace).report
+}
+
+fn assert_mixture_default_off(make: fn() -> PlatformConfig, regime: &str) {
+    let golden = run(make());
+
+    // Explicitly disabling the mixture must change nothing at all.
+    let mut off = make();
+    off.content.mixture = ContentModelConfig::disabled();
+    assert_eq!(
+        golden,
+        run(off),
+        "{regime}: explicit mixture-off must be byte-identical to the default"
+    );
+
+    // Turning it on must change the run — the knob is live.
+    let mut on = make();
+    on.content.mixture = ContentModelConfig::paper_calibrated();
+    assert_ne!(
+        golden,
+        run(on),
+        "{regime}: the mixture must actually alter page content"
+    );
+}
+
+#[test]
+fn mixture_defaults_to_disabled() {
+    assert_eq!(
+        ContentModelConfig::default(),
+        ContentModelConfig::disabled()
+    );
+    assert!(!ContentModel::default().mixture.enabled);
+    assert!(!PlatformConfig::paper_default().content.mixture.enabled);
+}
+
+#[test]
+fn fig7_style_latency_target_is_mixture_invariant() {
+    assert_mixture_default_off(latency_target_config, "fig7-style");
+}
+
+#[test]
+fn fig9_style_memory_budget_is_mixture_invariant() {
+    assert_mixture_default_off(memory_budget_config, "fig9-style");
+}
+
+#[test]
+fn chaos_style_fault_run_is_mixture_invariant() {
+    assert_mixture_default_off(chaos_config, "chaos-style");
+}
