@@ -3,7 +3,9 @@
 //! cost, on the request critical path).
 
 use medes_bench::harness::{BenchmarkId, Criterion, Throughput};
-use medes_delta::{apply, diff};
+use medes_delta::{
+    apply, apply_into, diff, encode_reference, encode_with, EncodeConfig, EncodeScratch, PatchRef,
+};
 use medes_sim::DetRng;
 
 fn page(seed: u64) -> Vec<u8> {
@@ -41,6 +43,15 @@ fn bench_encode(c: &mut Criterion) {
     g.bench_function("unrelated_page_level1", |b| {
         b.iter(|| diff(&base, &unrelated, 1))
     });
+    // Per-call HashMap encoder kept as the scratch encoder's comparator.
+    let cfg = EncodeConfig::with_level(1);
+    g.bench_function("similar_page_reference_level1", |b| {
+        b.iter(|| encode_reference(&base, &target, &cfg))
+    });
+    let mut scratch = EncodeScratch::new();
+    g.bench_function("similar_page_scratch_level1", |b| {
+        b.iter(|| encode_with(&base, &target, &cfg, &mut scratch))
+    });
     g.finish();
 }
 
@@ -50,6 +61,19 @@ fn bench_apply(c: &mut Criterion) {
     let mut g = c.benchmark_group("delta_apply");
     g.throughput(Throughput::Bytes(4096));
     g.bench_function("similar_page", |b| b.iter(|| apply(&base, &patch).unwrap()));
+    let mut out = Vec::new();
+    g.bench_function("similar_page_into", |b| {
+        b.iter(|| apply_into(&base, &patch, &mut out).unwrap())
+    });
+    let bytes = patch.to_bytes();
+    g.bench_function("similar_page_ref_into", |b| {
+        b.iter(|| {
+            PatchRef::from_bytes(&bytes)
+                .unwrap()
+                .apply_into(&base, &mut out)
+                .unwrap()
+        })
+    });
     g.finish();
 }
 

@@ -4,7 +4,9 @@
 
 use medes_bench::harness::{BenchmarkId, Criterion, Throughput};
 use medes_hash::rabin::{scan_windows, RollingHash};
-use medes_hash::sample::{page_fingerprint, FingerprintConfig};
+use medes_hash::sample::{
+    page_fingerprint, page_fingerprint_scalar, pages_fingerprints, FingerprintConfig,
+};
 use medes_hash::{chunk_hash, Sha1};
 use medes_sim::DetRng;
 
@@ -61,6 +63,23 @@ fn bench_fingerprint(c: &mut Criterion) {
             b.iter(|| page_fingerprint(&p, cfg))
         });
     }
+    // Legacy byte-at-a-time scan, kept as the wide scan's comparator.
+    let cfg = FingerprintConfig::default();
+    g.bench_with_input(BenchmarkId::new("page_scalar", 10), &cfg, |b, cfg| {
+        b.iter(|| page_fingerprint_scalar(&p, cfg))
+    });
+    g.finish();
+}
+
+fn bench_fingerprint_batch(c: &mut Criterion) {
+    let pages: Vec<Vec<u8>> = (0..32).map(|i| page(100 + i)).collect();
+    let slices: Vec<&[u8]> = pages.iter().map(Vec::as_slice).collect();
+    let cfg = FingerprintConfig::default();
+    let mut g = c.benchmark_group("fingerprint");
+    g.throughput(Throughput::Bytes((slices.len() * 4096) as u64));
+    g.bench_function("batch_32_pages", |b| {
+        b.iter(|| pages_fingerprints(&slices, &cfg))
+    });
     g.finish();
 }
 
@@ -69,6 +88,7 @@ medes_bench::bench_group!(
     bench_sha1,
     bench_chunk_hash,
     bench_rolling_scan,
-    bench_fingerprint
+    bench_fingerprint,
+    bench_fingerprint_batch
 );
 medes_bench::bench_main!(benches);

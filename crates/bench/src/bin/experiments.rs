@@ -62,7 +62,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--stream] [--timeseries <ms>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>] [--content-model]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\n       experiments trace timeline <trace.timeseries.jsonl>\n       experiments trace diff <base.jsonl> <cand.jsonl> [--threshold <f>]\nids: {}",
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--stream] [--timeseries <ms>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>] [--content-model] [--microbench]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\n       experiments trace timeline <trace.timeseries.jsonl>\n       experiments trace diff <base.jsonl> <cand.jsonl> [--threshold <f>]\nids: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -251,6 +251,7 @@ fn main() {
                 cfg.sample = Some(n);
             }
             "--stream" => cfg.stream = true,
+            "--microbench" => ids.push("microbench".to_string()),
             "--content-model" => cfg.content_model = true,
             "--timeseries" => {
                 let Some(ms) = it.next().and_then(|s| s.parse::<u64>().ok()) else {

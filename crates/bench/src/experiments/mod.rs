@@ -50,6 +50,7 @@ pub const ALL: &[&str] = &[
     "cache",
     "pipeline",
     "scenarios",
+    "microbench",
 ];
 
 /// Dispatches one experiment by id.
@@ -77,6 +78,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "cache" => cache::run(cfg),
         "pipeline" => pipeline::run(cfg),
         "scenarios" => scenarios::run(cfg),
+        "microbench" => crate::microbench::run(cfg),
         _ => return None,
     };
     Some(report)

@@ -43,6 +43,7 @@ pub mod common;
 pub mod diff;
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod perf_history;
 pub mod report;
 pub mod summarize;

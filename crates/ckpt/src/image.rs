@@ -96,6 +96,13 @@ impl CheckpointImage {
         &self.pages[i]
     }
 
+    /// Iterates every page of the dump as a raw slice, in VMA order —
+    /// the shape the batch fingerprint API
+    /// (`medes_hash::sample::pages_fingerprints`) consumes.
+    pub fn page_slices(&self) -> impl Iterator<Item = &[u8]> {
+        self.pages.iter().map(Vec::as_slice)
+    }
+
     /// Replaces page `i` (used when the dedup agent reconstructs
     /// deduplicated pages during restore).
     pub fn set_page(&mut self, i: usize, data: Vec<u8>) {

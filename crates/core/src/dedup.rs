@@ -17,8 +17,8 @@ use crate::config::PlatformConfig;
 use crate::ids::{FnId, NodeId, SandboxId};
 use crate::registry::FingerprintRegistry;
 use crate::sandbox::{DedupPageTable, PageEntry};
-use medes_delta::{encode, EncodeConfig};
-use medes_hash::sample::page_fingerprint;
+use medes_delta::{encode_with, EncodeConfig, EncodeScratch};
+use medes_hash::sample::pages_fingerprints;
 use medes_mem::{MemoryImage, PAGE_SIZE};
 use medes_net::{Fabric, NetError};
 use medes_obs::{Obs, TraceCtx};
@@ -195,21 +195,19 @@ where
     let encode_cfg = EncodeConfig::with_level(cfg.delta_level);
     let max_patch = (cfg.patch_max_frac * PAGE_SIZE as f64) as usize;
 
-    // Fingerprint every page, then probe the registry in one batch so
-    // each shard's read lock is taken once per op rather than once per
-    // page. Empty fingerprints (rare) skip the registry exactly as the
-    // per-page path did.
-    let mut fps = Vec::with_capacity(image.page_count());
-    let mut probe_fps = Vec::new();
-    for (_, page) in image.pages() {
-        let fp = page_fingerprint(page, &cfg.fingerprint);
-        if !fp.is_empty() {
-            probe_fps.push(fp.clone());
-        }
-        fps.push(fp);
-    }
+    // Fingerprint every page in one batch call (shared scan scratch),
+    // then probe the registry in one batch so each shard's read lock
+    // is taken once per op rather than once per page. Empty
+    // fingerprints (rare) skip the registry exactly as the per-page
+    // path did.
+    let page_slices: Vec<&[u8]> = image.pages().map(|(_, page)| page).collect();
+    let fps = pages_fingerprints(&page_slices, &cfg.fingerprint);
+    let probe_fps: Vec<_> = fps.iter().filter(|fp| !fp.is_empty()).cloned().collect();
     let candidate_lists = registry.lookup_batch(&probe_fps);
     let mut probe_cursor = 0usize;
+    // One encoder scratch per scan: the hash index and literal arenas
+    // are reused across every candidate page of this image.
+    let mut scratch = EncodeScratch::new();
 
     for ((_, page), fp) in image.pages().zip(&fps) {
         let entry = if fp.is_empty() {
@@ -228,7 +226,7 @@ where
             best.and_then(|cand| {
                 let (base_img, base_fn) = bases(cand.loc.sandbox)?;
                 let base_page = base_img.page(cand.loc.page as usize);
-                let patch = encode(base_page, page, &encode_cfg);
+                let patch = encode_with(base_page, page, &encode_cfg, &mut scratch);
                 let size = patch.serialized_size();
                 if size >= max_patch {
                     return None; // not worth deduplicating
@@ -355,11 +353,12 @@ pub fn index_base_sandbox(
     sandbox: SandboxId,
     image: &MemoryImage,
 ) -> usize {
-    for (idx, page) in image.pages() {
-        let fp = page_fingerprint(page, &cfg.fingerprint);
+    let page_slices: Vec<&[u8]> = image.pages().map(|(_, page)| page).collect();
+    let fps = pages_fingerprints(&page_slices, &cfg.fingerprint);
+    for (idx, fp) in fps.iter().enumerate() {
         if !fp.is_empty() {
             registry.insert_page(
-                &fp,
+                fp,
                 crate::registry::ChunkLoc {
                     node,
                     sandbox,

@@ -14,7 +14,7 @@ use crate::dedup::BaseResolver;
 use crate::ids::NodeId;
 use crate::pagecache::BasePageCache;
 use crate::sandbox::{DedupPageTable, PageEntry};
-use medes_delta::apply;
+use medes_delta::apply_into;
 use medes_mem::{MemoryImage, PAGE_SIZE};
 use medes_net::{Fabric, NetError};
 use medes_obs::{Obs, TraceCtx};
@@ -232,6 +232,9 @@ pub fn restore_op_cached(
     // bytes from the cache where it hit — a stale cache entry then
     // surfaces as corruption instead of silently passing.
     if let Some(original) = verify_against {
+        // One reusable output buffer across all patched pages: the
+        // apply path allocates once, not once per page.
+        let mut rebuilt = Vec::new();
         for (idx, entry) in table.entries.iter().enumerate() {
             let PageEntry::Patched {
                 base_sandbox,
@@ -247,8 +250,8 @@ pub fn restore_op_cached(
                 .get(&(base_sandbox.0, *base_page))
                 .map(Vec::as_slice)
                 .unwrap_or_else(|| img.page(*base_page as usize));
-            let rebuilt =
-                apply(base_bytes, patch).map_err(|_| RestoreError::Corrupt { page: idx })?;
+            apply_into(base_bytes, patch, &mut rebuilt)
+                .map_err(|_| RestoreError::Corrupt { page: idx })?;
             if rebuilt != original.page(idx) {
                 return Err(RestoreError::Corrupt { page: idx });
             }
@@ -304,6 +307,7 @@ fn restore_legacy(
     let scale = cfg.mem_scale;
     let mut reads: Vec<(usize, usize)> = Vec::new();
     let mut patched = 0usize;
+    let mut rebuilt = Vec::new(); // reused across pages under verification
 
     for (idx, entry) in table.entries.iter().enumerate() {
         let PageEntry::Patched {
@@ -324,8 +328,8 @@ fn restore_legacy(
         reads.push((base_node.0, PAGE_SIZE * scale));
         if let Some(original) = verify_against {
             let base_bytes = base_img.page(*base_page as usize);
-            let rebuilt =
-                apply(base_bytes, patch).map_err(|_| RestoreError::Corrupt { page: idx })?;
+            apply_into(base_bytes, patch, &mut rebuilt)
+                .map_err(|_| RestoreError::Corrupt { page: idx })?;
             if rebuilt != original.page(idx) {
                 return Err(RestoreError::Corrupt { page: idx });
             }

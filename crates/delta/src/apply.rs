@@ -3,9 +3,15 @@
 //! This is the hot path of the *restore* operation — the dedup agent
 //! applies one patch per deduplicated page while a request is waiting —
 //! so it is a single pass with exact pre-allocation and no copies beyond
-//! the output buffer itself.
+//! the output buffer itself. Batch callers should reuse one output
+//! buffer across pages via [`apply_into`] (or its zero-copy sibling
+//! [`PatchRef::apply_into`](crate::format::PatchRef)), which skips the
+//! per-page `Vec` allocation entirely; [`apply`] is the allocating
+//! convenience form. A validation pre-pass checks every COPY range and
+//! the claimed target length *before* any buffer is grown, so a corrupt
+//! patch can never over-allocate.
 
-use crate::format::{Instr, Patch};
+use crate::format::{Instr, InstrRef, Patch, PatchRef};
 
 /// Errors from [`apply`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,36 +62,107 @@ impl std::error::Error for DeltaError {}
 
 /// Reconstructs the target buffer from `base` and `patch`.
 pub fn apply(base: &[u8], patch: &Patch) -> Result<Vec<u8>, DeltaError> {
+    let mut out = Vec::new();
+    apply_into(base, patch, &mut out)?;
+    Ok(out)
+}
+
+/// [`apply`] writing into a caller-provided buffer: `out` is cleared,
+/// grown at most once (to the validated output size — never to an
+/// unvalidated `target_len`), and filled. Identical results and error
+/// precedence to [`apply`]; reusing one `out` across pages removes the
+/// per-page allocation from the restore path.
+pub fn apply_into(base: &[u8], patch: &Patch, out: &mut Vec<u8>) -> Result<(), DeltaError> {
+    out.clear();
     if base.len() != patch.base_len as usize {
         return Err(DeltaError::BaseLengthMismatch {
             expected: patch.base_len,
             actual: base.len(),
         });
     }
-    let mut out = Vec::with_capacity(patch.target_len as usize);
+    // Validation pre-pass, in stream order (same error precedence as
+    // the historical single pass): every COPY range, then the total
+    // output length — before a single byte of buffer growth.
+    let mut total: u64 = 0;
     for instr in &patch.instrs {
         match instr {
             Instr::Copy { offset, len } => {
-                let start = *offset as usize;
-                let end = start
+                (*offset as usize)
                     .checked_add(*len as usize)
                     .filter(|&e| e <= base.len())
                     .ok_or(DeltaError::CopyOutOfRange {
                         offset: *offset,
                         len: *len,
                     })?;
-                out.extend_from_slice(&base[start..end]);
+                total += *len as u64;
+            }
+            Instr::Add(data) => total += data.len() as u64,
+        }
+    }
+    if total != patch.target_len as u64 {
+        return Err(DeltaError::OutputLengthMismatch {
+            expected: patch.target_len,
+            actual: total as usize,
+        });
+    }
+    out.reserve_exact(total as usize);
+    for instr in &patch.instrs {
+        match instr {
+            Instr::Copy { offset, len } => {
+                let start = *offset as usize;
+                out.extend_from_slice(&base[start..start + *len as usize]);
             }
             Instr::Add(data) => out.extend_from_slice(data),
         }
     }
-    if out.len() != patch.target_len as usize {
-        return Err(DeltaError::OutputLengthMismatch {
-            expected: patch.target_len,
-            actual: out.len(),
-        });
+    Ok(())
+}
+
+impl PatchRef<'_> {
+    /// Applies a serialized patch directly from its wire bytes into a
+    /// caller-provided buffer — the fully zero-copy restore path: no
+    /// instruction `Vec`, no literal copies, no output allocation when
+    /// `out` is warm. Same validation and error precedence as
+    /// [`apply_into`].
+    pub fn apply_into(&self, base: &[u8], out: &mut Vec<u8>) -> Result<(), DeltaError> {
+        out.clear();
+        if base.len() != self.base_len() as usize {
+            return Err(DeltaError::BaseLengthMismatch {
+                expected: self.base_len(),
+                actual: base.len(),
+            });
+        }
+        let mut total: u64 = 0;
+        for instr in self.instrs() {
+            match instr {
+                InstrRef::Copy { offset, len } => {
+                    (offset as usize)
+                        .checked_add(len as usize)
+                        .filter(|&e| e <= base.len())
+                        .ok_or(DeltaError::CopyOutOfRange { offset, len })?;
+                    total += len as u64;
+                }
+                InstrRef::Add(data) => total += data.len() as u64,
+            }
+        }
+        if total != self.target_len() as u64 {
+            return Err(DeltaError::OutputLengthMismatch {
+                expected: self.target_len(),
+                actual: total as usize,
+            });
+        }
+        out.reserve_exact(total as usize);
+        for instr in self.instrs() {
+            match instr {
+                InstrRef::Copy { offset, len } => {
+                    let start = offset as usize;
+                    out.extend_from_slice(&base[start..start + len as usize]);
+                }
+                InstrRef::Add(data) => out.extend_from_slice(data),
+            }
+        }
+        Ok(())
     }
-    Ok(out)
 }
 
 #[cfg(test)]

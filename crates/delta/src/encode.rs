@@ -3,9 +3,9 @@
 //! The encoder indexes the base buffer at `seed_step`-aligned positions
 //! with a cheap 64-bit block hash over `SEED_LEN` bytes, then scans the
 //! target greedily: at each position it probes the index, extends every
-//! candidate match byte-wise in both directions, and emits the best one
-//! as a COPY if it clears the minimum-match threshold. Compression
-//! levels 0–9 mirror Xdelta3's knob:
+//! candidate match in both directions (eight bytes at a time), and
+//! emits the best one as a COPY if it clears the minimum-match
+//! threshold. Compression levels 0–9 mirror Xdelta3's knob:
 //!
 //! | level | seed step | chain probes | effect |
 //! |-------|-----------|--------------|--------|
@@ -13,6 +13,15 @@
 //! | 1     | 16        | 4            | fast, what Medes uses |
 //! | 5     | 8         | 16           | |
 //! | 9     | 4         | 64           | smallest patches |
+//!
+//! Batch callers (the dedup scan encodes one patch per candidate page)
+//! should hold an [`EncodeScratch`] and call [`encode_with`]: the index
+//! arenas and the literal buffer are then reused across pages instead
+//! of being reallocated per call. [`encode`] is the convenience
+//! one-shot form. [`encode_reference`] preserves the original
+//! `HashMap`-based implementation as the comparator the fast path is
+//! verified against (property tests and the `--microbench` baseline);
+//! both produce bit-identical patches.
 
 use crate::format::{Instr, Patch};
 use medes_hash::fnv::fnv1a;
@@ -46,13 +55,15 @@ impl EncodeConfig {
                 store_only: true,
             };
         }
-        // Level 1 -> step 16, probes 4; level 9 -> step 4, probes 64.
-        let seed_step = match level {
-            1..=2 => 16,
-            3..=5 => 8,
-            _ => 4,
+        // Level 1 -> step 16, probes 4; level 9 -> step 4, probes 64,
+        // exactly the module doc table. (An earlier shift-based formula
+        // gave level 9 128 probes and level 5 64, contradicting the
+        // documented knob.)
+        let (seed_step, max_probes) = match level {
+            1..=2 => (16, 4),
+            3..=5 => (8, 16),
+            _ => (4, 64),
         };
-        let max_probes = 1usize << (level + 1).min(7); // 4..=64
         EncodeConfig {
             seed_step,
             max_probes,
@@ -71,8 +82,199 @@ fn seed_hash(data: &[u8]) -> u64 {
     fnv1a(&data[..SEED_LEN])
 }
 
+/// Reusable encoder workspace: the base hash index (flat chained
+/// buckets) plus the literal-accumulation buffer. Holding one of these
+/// per worker and calling [`encode_with`] amortizes every allocation
+/// the encoder makes across pages; a fresh scratch is equivalent to
+/// (and used by) plain [`encode`].
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    /// Bucket heads: 1-based entry index of the newest entry, 0 = empty.
+    heads: Vec<u32>,
+    /// Per-entry link to the next-older entry in the same bucket.
+    links: Vec<u32>,
+    /// Per-entry full 64-bit seed hash. Chains are per *bucket*, so a
+    /// probe must skip entries whose key differs — without counting
+    /// them against `max_probes`, exactly as the reference `HashMap`
+    /// (which only ever yields exact-key candidates) behaves.
+    keys: Vec<u64>,
+    /// Per-entry base position.
+    positions: Vec<u32>,
+    /// Right-shift mapping a mixed hash to a bucket index.
+    bucket_shift: u32,
+    /// Pending-literal arena loaned to the patch builder.
+    pending_add: Vec<u8>,
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch (allocates lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)builds the index over `base` at `seed_step` positions.
+    fn build_index(&mut self, base: &[u8], seed_step: usize) {
+        let n_entries = (base.len() - SEED_LEN) / seed_step + 1;
+        let buckets = (n_entries * 2).next_power_of_two().max(16);
+        self.bucket_shift = 64 - buckets.trailing_zeros();
+        self.heads.clear();
+        self.heads.resize(buckets, 0);
+        self.links.clear();
+        self.keys.clear();
+        self.positions.clear();
+        let mut pos = 0usize;
+        while pos + SEED_LEN <= base.len() {
+            let h = seed_hash(&base[pos..]);
+            let b = self.bucket(h);
+            // Prepend: heads always point at the newest entry, so a
+            // chain walk visits positions newest-first like the
+            // reference's `cands.iter().rev()`.
+            self.links.push(self.heads[b]);
+            self.heads[b] = self.links.len() as u32;
+            self.keys.push(h);
+            self.positions.push(pos as u32);
+            pos += seed_step;
+        }
+    }
+
+    /// Fibonacci-hash bucket of a seed hash.
+    #[inline]
+    fn bucket(&self, h: u64) -> usize {
+        (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.bucket_shift) as usize
+    }
+}
+
+/// Length of the longest common prefix of `a` and `b`, eight bytes at
+/// a time.
+#[inline]
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = u64::from_le_bytes(a[i..i + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        let d = x ^ y;
+        if d != 0 {
+            return i + (d.trailing_zeros() >> 3) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Length of the longest common suffix of `a` and `b`, capped at
+/// `cap`, eight bytes at a time.
+#[inline]
+fn common_suffix_len(a: &[u8], b: &[u8], cap: usize) -> usize {
+    let n = cap.min(a.len()).min(b.len());
+    let (la, lb) = (a.len(), b.len());
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = u64::from_le_bytes(a[la - i - 8..la - i].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(b[lb - i - 8..lb - i].try_into().expect("8 bytes"));
+        let d = x ^ y;
+        if d != 0 {
+            // The byte nearest the suffix end is the most significant
+            // one under little-endian loads of a trailing window.
+            return i + (d.leading_zeros() >> 3) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[la - i - 1] == b[lb - i - 1] {
+        i += 1;
+    }
+    i
+}
+
 /// Computes a patch reconstructing `target` from `base`.
 pub fn encode(base: &[u8], target: &[u8], cfg: &EncodeConfig) -> Patch {
+    encode_with(base, target, cfg, &mut EncodeScratch::new())
+}
+
+/// [`encode`] with a caller-held [`EncodeScratch`]: identical output,
+/// no per-call index/arena allocations once the scratch is warm.
+pub fn encode_with(
+    base: &[u8],
+    target: &[u8],
+    cfg: &EncodeConfig,
+    scratch: &mut EncodeScratch,
+) -> Patch {
+    let mut patch = Patch {
+        base_len: base.len() as u32,
+        target_len: target.len() as u32,
+        instrs: Vec::new(),
+    };
+    if target.is_empty() {
+        return patch;
+    }
+    if cfg.store_only || base.len() < SEED_LEN || target.len() < SEED_LEN {
+        patch.instrs.push(Instr::Add(target.to_vec()));
+        return patch;
+    }
+
+    scratch.build_index(base, cfg.seed_step);
+    // Loan the literal arena out of the scratch (and return it below)
+    // so the builder's mutable borrow doesn't pin the whole scratch.
+    let mut pending_add = std::mem::take(&mut scratch.pending_add);
+    let mut out = PatchBuilder::new(&mut patch, &mut pending_add);
+    let mut t = 0usize;
+    while t + SEED_LEN <= target.len() {
+        // (tail bytes, including any pending no-match bytes, are added
+        // after the loop)
+        let h = seed_hash(&target[t..]);
+        let mut best: Option<(usize, usize, usize)> = None; // (b_start, t_start, len)
+        let mut probes = 0usize;
+        let mut entry = scratch.heads[scratch.bucket(h)];
+        while entry != 0 && probes < cfg.max_probes {
+            let idx = (entry - 1) as usize;
+            entry = scratch.links[idx];
+            if scratch.keys[idx] != h {
+                continue; // different key sharing the bucket: not a probe
+            }
+            probes += 1;
+            let b = scratch.positions[idx] as usize;
+            if base[b..b + SEED_LEN] != target[t..t + SEED_LEN] {
+                continue; // hash collision
+            }
+            // Extend forward, then backward only into bytes not yet
+            // emitted.
+            let len = SEED_LEN + common_prefix_len(&base[b + SEED_LEN..], &target[t + SEED_LEN..]);
+            let back = common_suffix_len(&base[..b], &target[..t], t - out.emitted_until());
+            let total = len + back;
+            if best.is_none_or(|(_, _, blen)| total > blen) {
+                best = Some((b - back, t - back, total));
+            }
+        }
+        match best {
+            Some((b_start, t_start, len)) if len >= MIN_MATCH => {
+                out.add(&target[out.emitted_until()..t_start]);
+                out.copy(b_start as u32, len as u32);
+                t = t_start + len;
+            }
+            _ => {
+                // No profitable match here; the pending literal grows.
+                t += 1;
+            }
+        }
+    }
+    let tail_from = out.emitted_until();
+    if tail_from < target.len() {
+        out.add(&target[tail_from..]);
+    }
+    out.finish();
+    scratch.pending_add = pending_add;
+    patch
+}
+
+/// The pre-optimization encoder — fresh `HashMap` index, byte-wise
+/// match extension — kept verbatim as the comparator [`encode_with`]
+/// is verified against (property tests, the `hot_path` integration
+/// test, and the `--microbench` baseline). Produces bit-identical
+/// patches to [`encode`]/[`encode_with`].
+pub fn encode_reference(base: &[u8], target: &[u8], cfg: &EncodeConfig) -> Patch {
     let mut patch = Patch {
         base_len: base.len() as u32,
         target_len: target.len() as u32,
@@ -97,7 +299,8 @@ pub fn encode(base: &[u8], target: &[u8], cfg: &EncodeConfig) -> Patch {
         pos += cfg.seed_step;
     }
 
-    let mut out = PatchBuilder::new(&mut patch);
+    let mut pending = Vec::new();
+    let mut out = PatchBuilder::new(&mut patch, &mut pending);
     let mut t = 0usize;
     while t < target.len() {
         if t + SEED_LEN > target.len() {
@@ -154,18 +357,22 @@ pub fn encode(base: &[u8], target: &[u8], cfg: &EncodeConfig) -> Patch {
 }
 
 /// Accumulates instructions, merging adjacent ADDs and coalescing
-/// contiguous COPYs.
+/// contiguous COPYs. The pending-literal buffer is borrowed from the
+/// caller (an [`EncodeScratch`] arena) so its capacity survives
+/// across encodes; flushing copies the exact bytes out instead of
+/// surrendering the allocation.
 struct PatchBuilder<'a> {
     patch: &'a mut Patch,
-    pending_add: Vec<u8>,
+    pending_add: &'a mut Vec<u8>,
     emitted: usize,
 }
 
 impl<'a> PatchBuilder<'a> {
-    fn new(patch: &'a mut Patch) -> Self {
+    fn new(patch: &'a mut Patch, pending_add: &'a mut Vec<u8>) -> Self {
+        pending_add.clear();
         PatchBuilder {
             patch,
-            pending_add: Vec::new(),
+            pending_add,
             emitted: 0,
         }
     }
@@ -201,7 +408,8 @@ impl<'a> PatchBuilder<'a> {
         if !self.pending_add.is_empty() {
             self.patch
                 .instrs
-                .push(Instr::Add(std::mem::take(&mut self.pending_add)));
+                .push(Instr::Add(self.pending_add.as_slice().to_vec()));
+            self.pending_add.clear();
         }
     }
 
@@ -324,6 +532,70 @@ mod tests {
         assert_eq!(apply(b"short", &patch).unwrap(), b"tiny");
         let patch = encode(b"", b"target-bytes-here", &EncodeConfig::default());
         assert_eq!(apply(b"", &patch).unwrap(), b"target-bytes-here");
+    }
+
+    /// Pins the level→(seed_step, max_probes) mapping for every level.
+    /// Regression test for the PR 8 probe-budget bug: the old formula
+    /// `1 << (level + 1).min(7)` gave level 9 128 probes and level 5
+    /// 64, while the module doc table promises 64 and 16.
+    #[test]
+    fn with_level_matches_doc_table() {
+        let expected: [(usize, usize, bool); 10] = [
+            (0, 0, true),   // level 0: store
+            (16, 4, false), // level 1
+            (16, 4, false), // level 2
+            (8, 16, false), // level 3
+            (8, 16, false), // level 4
+            (8, 16, false), // level 5
+            (4, 64, false), // level 6
+            (4, 64, false), // level 7
+            (4, 64, false), // level 8
+            (4, 64, false), // level 9
+        ];
+        for (level, &(step, probes, store)) in expected.iter().enumerate() {
+            let cfg = EncodeConfig::with_level(level as u8);
+            assert_eq!(
+                (cfg.seed_step, cfg.max_probes, cfg.store_only),
+                (step, probes, store),
+                "level {level}"
+            );
+        }
+        // Out-of-range levels clamp to 9.
+        let cfg = EncodeConfig::with_level(200);
+        assert_eq!((cfg.seed_step, cfg.max_probes), (4, 64));
+    }
+
+    /// The scratch-reusing fast path must emit bit-identical patches to
+    /// the original HashMap encoder, including across reuses of one
+    /// scratch.
+    #[test]
+    fn encode_with_matches_reference() {
+        let mut scratch = EncodeScratch::new();
+        let base = pseudo_random(21, 4096);
+        let mut cases: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        // Near-duplicate, insertion-shifted, unrelated, identical.
+        let mut t1 = base.clone();
+        for b in &mut t1[600..640] {
+            *b ^= 0xA5;
+        }
+        cases.push((base.clone(), t1));
+        let mut t2 = Vec::new();
+        t2.extend_from_slice(&base[..1000]);
+        t2.extend_from_slice(b"odd-len-insert");
+        t2.extend_from_slice(&base[1000..]);
+        cases.push((base.clone(), t2));
+        cases.push((base.clone(), pseudo_random(22, 4096)));
+        cases.push((base.clone(), base.clone()));
+        for level in [0u8, 1, 5, 9] {
+            let cfg = EncodeConfig::with_level(level);
+            for (base, target) in &cases {
+                let fast = encode_with(base, target, &cfg, &mut scratch);
+                let slow = encode_reference(base, target, &cfg);
+                assert_eq!(fast, slow, "level {level}");
+                assert_eq!(fast.to_bytes(), slow.to_bytes(), "level {level}");
+                assert_eq!(apply(base, &fast).unwrap(), *target);
+            }
+        }
     }
 
     #[test]

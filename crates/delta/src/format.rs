@@ -140,41 +140,150 @@ impl Patch {
         out
     }
 
-    /// Parses a serialized patch.
+    /// Parses a serialized patch (an owned deep copy; see [`PatchRef`]
+    /// for the zero-copy view with identical validation).
     pub fn from_bytes(data: &[u8]) -> Result<Patch, ParseError> {
+        Ok(PatchRef::from_bytes(data)?.to_patch())
+    }
+}
+
+/// A zero-copy view over a serialized patch: the header is decoded,
+/// the instruction stream is validated once up front and then iterated
+/// *in place* — `ADD` literals borrow from the underlying wire buffer
+/// instead of being copied into `Vec`s. Combined with
+/// [`PatchRef::apply_into`](crate::apply), a page restore from stored
+/// patch bytes touches no intermediate allocation at all.
+#[derive(Debug, Clone, Copy)]
+pub struct PatchRef<'a> {
+    base_len: u32,
+    target_len: u32,
+    body: &'a [u8],
+}
+
+/// One borrowed instruction yielded by [`PatchRef::instrs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrRef<'a> {
+    /// Copy `len` bytes from `offset` in the base buffer.
+    Copy {
+        /// Byte offset into the base.
+        offset: u32,
+        /// Number of bytes to copy.
+        len: u32,
+    },
+    /// Append literal bytes (borrowed from the serialized patch).
+    Add(&'a [u8]),
+}
+
+impl<'a> PatchRef<'a> {
+    /// Parses the header and validates the whole instruction stream
+    /// without allocating. Errors match [`Patch::from_bytes`] exactly
+    /// (same variants, same stream-order precedence); after success,
+    /// iteration is infallible.
+    pub fn from_bytes(data: &'a [u8]) -> Result<Self, ParseError> {
         if data.len() < 4 || &data[..4] != MAGIC {
             return Err(ParseError::BadMagic);
         }
         let mut pos = 4;
         let base_len = read_varint(data, &mut pos).ok_or(ParseError::Truncated)? as u32;
         let target_len = read_varint(data, &mut pos).ok_or(ParseError::Truncated)? as u32;
-        let mut instrs = Vec::new();
-        while pos < data.len() {
-            let op = data[pos];
-            pos += 1;
-            match op {
-                0x01 => {
-                    let offset = read_varint(data, &mut pos).ok_or(ParseError::Truncated)? as u32;
-                    let len = read_varint(data, &mut pos).ok_or(ParseError::Truncated)? as u32;
-                    instrs.push(Instr::Copy { offset, len });
-                }
-                0x02 => {
-                    let len = read_varint(data, &mut pos).ok_or(ParseError::Truncated)? as usize;
-                    let end = pos.checked_add(len).ok_or(ParseError::Truncated)?;
-                    if end > data.len() {
-                        return Err(ParseError::Truncated);
-                    }
-                    instrs.push(Instr::Add(data[pos..end].to_vec()));
-                    pos = end;
-                }
-                other => return Err(ParseError::BadOpcode(other)),
-            }
-        }
-        Ok(Patch {
+        let body = &data[pos..];
+        let mut check = InstrIter { data: body, pos: 0 };
+        while check.next_checked()?.is_some() {}
+        Ok(PatchRef {
             base_len,
             target_len,
-            instrs,
+            body,
         })
+    }
+
+    /// Length of the base buffer the patch was computed against.
+    pub fn base_len(&self) -> u32 {
+        self.base_len
+    }
+
+    /// Length of the reconstructed target.
+    pub fn target_len(&self) -> u32 {
+        self.target_len
+    }
+
+    /// Iterates the instruction stream in place.
+    pub fn instrs(&self) -> InstrIter<'a> {
+        InstrIter {
+            data: self.body,
+            pos: 0,
+        }
+    }
+
+    /// Deep-copies the view into an owned [`Patch`].
+    pub fn to_patch(&self) -> Patch {
+        let instrs = self
+            .instrs()
+            .map(|i| match i {
+                InstrRef::Copy { offset, len } => Instr::Copy { offset, len },
+                InstrRef::Add(d) => Instr::Add(d.to_vec()),
+            })
+            .collect();
+        Patch {
+            base_len: self.base_len,
+            target_len: self.target_len,
+            instrs,
+        }
+    }
+}
+
+/// Iterator over the borrowed instructions of a [`PatchRef`].
+#[derive(Debug, Clone)]
+pub struct InstrIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> InstrIter<'a> {
+    /// Fallible step used both for up-front validation and (through
+    /// the infallible `Iterator` impl) for iteration afterwards.
+    fn next_checked(&mut self) -> Result<Option<InstrRef<'a>>, ParseError> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        let op = self.data[self.pos];
+        self.pos += 1;
+        match op {
+            0x01 => {
+                let offset =
+                    read_varint(self.data, &mut self.pos).ok_or(ParseError::Truncated)? as u32;
+                let len =
+                    read_varint(self.data, &mut self.pos).ok_or(ParseError::Truncated)? as u32;
+                Ok(Some(InstrRef::Copy { offset, len }))
+            }
+            0x02 => {
+                let len =
+                    read_varint(self.data, &mut self.pos).ok_or(ParseError::Truncated)? as usize;
+                let end = self.pos.checked_add(len).ok_or(ParseError::Truncated)?;
+                if end > self.data.len() {
+                    return Err(ParseError::Truncated);
+                }
+                let slice = &self.data[self.pos..end];
+                self.pos = end;
+                Ok(Some(InstrRef::Add(slice)))
+            }
+            other => Err(ParseError::BadOpcode(other)),
+        }
+    }
+}
+
+impl<'a> Iterator for InstrIter<'a> {
+    type Item = InstrRef<'a>;
+
+    fn next(&mut self) -> Option<InstrRef<'a>> {
+        match self.next_checked() {
+            Ok(v) => v,
+            Err(_) => {
+                // Unreachable for iterators handed out by PatchRef:
+                // the stream was validated at construction.
+                debug_assert!(false, "iterating an unvalidated instruction stream");
+                None
+            }
+        }
     }
 }
 

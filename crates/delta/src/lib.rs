@@ -26,9 +26,9 @@ pub mod apply;
 pub mod encode;
 pub mod format;
 
-pub use apply::{apply, DeltaError};
-pub use encode::{encode, EncodeConfig};
-pub use format::{Instr, Patch};
+pub use apply::{apply, apply_into, DeltaError};
+pub use encode::{encode, encode_reference, encode_with, EncodeConfig, EncodeScratch};
+pub use format::{Instr, InstrRef, ParseError, Patch, PatchRef};
 
 /// Convenience: encode `target` against `base` at the given level and
 /// return the patch.

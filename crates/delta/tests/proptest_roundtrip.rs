@@ -5,7 +5,10 @@
 //! so the workspace builds offline; failures print the seed of the
 //! offending case, which reproduces it exactly.
 
-use medes_delta::{apply, diff, format::Patch};
+use medes_delta::{
+    apply, apply_into, diff, encode_reference, encode_with, format::Patch, DeltaError,
+    EncodeConfig, EncodeScratch, PatchRef,
+};
 use medes_sim::DetRng;
 
 fn random_vec(rng: &mut DetRng, max_len: usize) -> Vec<u8> {
@@ -96,4 +99,123 @@ fn apply_never_panics_on_parsed_garbage() {
             let _ = apply(&base, &patch); // must not panic
         }
     }
+}
+
+/// Pathological-content generators for the PR 8 hot-path work: shapes
+/// where the greedy matcher, wide extension, and skip logic all hit
+/// their edge cases.
+fn pathological_cases(rng: &mut DetRng) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut cases: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    // All-same-byte buffers (maximal self-similarity).
+    let b = rng.next_u8();
+    let len = rng.range(1, 3000) as usize;
+    cases.push((vec![b; len], vec![b; rng.range(1, 3000) as usize]));
+    // Short-period repeating content (every seed hash collides).
+    let period = rng.range(1, 24) as usize;
+    let unit: Vec<u8> = (0..period).map(|_| rng.next_u8()).collect();
+    let repeat =
+        |unit: &[u8], n: usize| -> Vec<u8> { unit.iter().cycle().take(n).copied().collect() };
+    cases.push((
+        repeat(&unit, rng.range(64, 4096) as usize),
+        repeat(&unit, rng.range(64, 4096) as usize),
+    ));
+    // Near-duplicate with insertions.
+    let base = random_vec_min(rng, 256, 4096);
+    let mut target = base.clone();
+    for _ in 0..rng.range(1, 5) {
+        let at = rng.below(target.len() as u64 + 1) as usize;
+        let ins = random_vec_min(rng, 1, 32);
+        target.splice(at..at, ins);
+    }
+    cases.push((base, target));
+    // Empty and tiny buffers on either side.
+    cases.push((Vec::new(), random_vec(rng, 8)));
+    cases.push((random_vec(rng, 8), Vec::new()));
+    cases.push((random_vec(rng, 20), random_vec(rng, 20)));
+    cases
+}
+
+/// Round-trips `encode`/`encode_with`/`apply`/`apply_into`/`PatchRef`
+/// over pathological inputs at levels 0/1/5/9, asserting the fast
+/// paths are bit-identical to the reference encoder.
+#[test]
+fn pathological_inputs_roundtrip_all_paths() {
+    let mut scratch = EncodeScratch::new();
+    let mut out = Vec::new();
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xD1FF_5000 + case);
+        for (base, target) in pathological_cases(&mut rng) {
+            for level in [0u8, 1, 5, 9] {
+                let cfg = EncodeConfig::with_level(level);
+                let patch = encode_with(&base, &target, &cfg, &mut scratch);
+                let reference = encode_reference(&base, &target, &cfg);
+                assert_eq!(patch, reference, "case {case} level {level}");
+                assert_eq!(
+                    patch.to_bytes(),
+                    reference.to_bytes(),
+                    "case {case} level {level}"
+                );
+                let alloc = apply(&base, &patch).expect("apply");
+                assert_eq!(alloc, target, "case {case} level {level}");
+                apply_into(&base, &patch, &mut out).expect("apply_into");
+                assert_eq!(out, target, "case {case} level {level}");
+                let bytes = patch.to_bytes();
+                let view = PatchRef::from_bytes(&bytes).expect("view parse");
+                view.apply_into(&base, &mut out).expect("ref apply_into");
+                assert_eq!(out, target, "case {case} level {level}");
+                assert_eq!(view.to_patch(), patch, "case {case} level {level}");
+            }
+        }
+    }
+}
+
+/// Corrupted instruction streams must come back as `DeltaError`s —
+/// never a panic, and never a buffer reservation driven by the
+/// unvalidated `target_len` header field.
+#[test]
+fn corrupted_streams_error_without_overallocating() {
+    let mut out;
+    for case in 0..512u64 {
+        let mut rng = DetRng::new(0xD1FF_6000 + case);
+        let base = random_vec_min(&mut rng, 64, 1024);
+        let target = random_vec_min(&mut rng, 64, 1024);
+        let mut bytes = diff(&base, &target, 1).to_bytes();
+        // Corrupt 1..8 bytes anywhere past the magic.
+        for _ in 0..rng.range(1, 8) {
+            let i = rng.range(4, bytes.len() as u64) as usize;
+            bytes[i] = rng.next_u8();
+        }
+        if let Ok(patch) = Patch::from_bytes(&bytes) {
+            out = Vec::new(); // fresh buffer: observe reservations
+            match apply_into(&base, &patch, &mut out) {
+                Ok(()) => assert_eq!(out.len(), patch.target_len as usize, "case {case}"),
+                Err(_) => assert_eq!(
+                    out.capacity(),
+                    0,
+                    "case {case}: rejected patch must not have grown the buffer"
+                ),
+            }
+            let _ = apply(&base, &patch); // must not panic either
+        }
+        if let Ok(view) = PatchRef::from_bytes(&bytes) {
+            out = Vec::new();
+            match view.apply_into(&base, &mut out) {
+                Ok(()) => assert_eq!(out.len(), view.target_len() as usize, "case {case}"),
+                Err(_) => assert_eq!(out.capacity(), 0, "case {case}"),
+            }
+        }
+    }
+    // A directly forged header with an absurd target_len must be
+    // rejected before any reservation.
+    let patch = Patch {
+        base_len: 4,
+        target_len: u32::MAX,
+        instrs: vec![medes_delta::Instr::Add(vec![1, 2, 3])],
+    };
+    let mut fresh = Vec::new();
+    assert!(matches!(
+        apply_into(b"base", &patch, &mut fresh),
+        Err(DeltaError::OutputLengthMismatch { .. })
+    ));
+    assert_eq!(fresh.capacity(), 0, "no reservation for a bogus header");
 }

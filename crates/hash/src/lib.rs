@@ -35,7 +35,15 @@ pub use sha1::Sha1;
 pub type ChunkHash = u64;
 
 /// Computes the [`ChunkHash`] of a chunk.
+///
+/// 64-byte chunks (the RSC size, and the only size the dedup scan
+/// produces) take the one-block [`Sha1::digest64`] fast path; any other
+/// length falls back to the general incremental digest. Both paths are
+/// bit-identical on the bytes they share.
 pub fn chunk_hash(data: &[u8]) -> ChunkHash {
-    let digest = sha1::Sha1::digest(data);
+    let digest = match <&[u8; 64]>::try_from(data) {
+        Ok(block) => sha1::Sha1::digest64(block),
+        Err(_) => sha1::Sha1::digest(data),
+    };
     u64::from_be_bytes(digest[..8].try_into().expect("digest >= 8 bytes"))
 }

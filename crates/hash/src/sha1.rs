@@ -55,6 +55,30 @@ impl Sha1 {
         h.finalize()
     }
 
+    /// One-shot digest of exactly one 64-byte block — the dedup hot
+    /// path (every sampled chunk is 64 B). Skips all incremental
+    /// buffering: two compressions, the data block and a constant
+    /// padding block (0x80, zeros, bit length 512). Bit-identical to
+    /// `Sha1::digest` on the same bytes.
+    pub fn digest64(block: &[u8; 64]) -> [u8; 20] {
+        // Padding for a 64-byte message: 0x80 then zeros, with the
+        // 64-bit big-endian bit length (512 = 0x0200) in the tail.
+        const PAD64: [u8; 64] = {
+            let mut b = [0u8; 64];
+            b[0] = 0x80;
+            b[62] = 0x02;
+            b
+        };
+        let mut state = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+        compress_block(&mut state, block);
+        compress_block(&mut state, &PAD64);
+        let mut out = [0u8; 20];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
     /// Feeds bytes into the digest.
     pub fn update(&mut self, mut data: &[u8]) {
         self.length_bits = self.length_bits.wrapping_add((data.len() as u64) * 8);
@@ -114,39 +138,68 @@ impl Sha1 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
-        for (i, word) in w.iter_mut().take(16).enumerate() {
-            *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
-                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
-                _ => (b ^ c ^ d, 0xCA62C1D6),
-            };
+        compress_block(&mut self.state, block);
+    }
+}
+
+/// One SHA-1 compression round: four constant-(f, k) loops of 20
+/// rounds each over a 16-word circular schedule, instead of a
+/// per-round `(f, k)` branch over an 80-word array. Same math as
+/// FIPS 180-4 §6.1.2 — the round-function identities used below
+/// (`Ch(b,c,d) = d ^ (b & (c ^ d))`, `Maj(b,c,d) = (b & c) | (d &
+/// (b | c))`) are bitwise-equal to the spec's and cost one op less.
+#[inline]
+fn compress_block(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (i, word) in w.iter_mut().enumerate() {
+        *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    // W[t] = rotl1(W[t-3] ^ W[t-8] ^ W[t-14] ^ W[t-16]); indices taken
+    // mod 16 so the schedule lives in 16 words instead of 80.
+    macro_rules! sched {
+        ($t:expr) => {{
+            let t = $t & 15;
+            let next = (w[(t + 13) & 15] ^ w[(t + 8) & 15] ^ w[(t + 2) & 15] ^ w[t]).rotate_left(1);
+            w[t] = next;
+            next
+        }};
+    }
+    macro_rules! round {
+        ($f:expr, $k:expr, $wi:expr) => {{
             let temp = a
                 .rotate_left(5)
-                .wrapping_add(f)
+                .wrapping_add($f)
                 .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
+                .wrapping_add($k)
+                .wrapping_add($wi);
             e = d;
             d = c;
             c = b.rotate_left(30);
             b = a;
             a = temp;
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+        }};
     }
+    for &wi in w.iter() {
+        round!(d ^ (b & (c ^ d)), 0x5A827999, wi);
+    }
+    for t in 16..20 {
+        round!(d ^ (b & (c ^ d)), 0x5A827999, sched!(t));
+    }
+    for t in 20..40 {
+        round!(b ^ c ^ d, 0x6ED9EBA1, sched!(t));
+    }
+    for t in 40..60 {
+        round!((b & c) | (d & (b | c)), 0x8F1BBCDC, sched!(t));
+    }
+    for t in 60..80 {
+        round!(b ^ c ^ d, 0xCA62C1D6, sched!(t));
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
 }
 
 #[cfg(test)]
@@ -211,6 +264,23 @@ mod tests {
             }
             assert_eq!(h.finalize(), d1, "len {len}");
         }
+    }
+
+    #[test]
+    fn digest64_matches_general_path() {
+        // The one-block fast path must be bit-identical to the
+        // incremental path on every 64-byte input we throw at it.
+        let mut rng = 0x5EEDu64;
+        for _ in 0..64 {
+            let mut block = [0u8; 64];
+            for b in &mut block {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (rng >> 56) as u8;
+            }
+            assert_eq!(Sha1::digest64(&block), Sha1::digest(&block));
+        }
+        assert_eq!(Sha1::digest64(&[0u8; 64]), Sha1::digest(&[0u8; 64]));
+        assert_eq!(Sha1::digest64(&[0xFF; 64]), Sha1::digest(&[0xFF; 64]));
     }
 
     #[test]
