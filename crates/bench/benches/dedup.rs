@@ -7,7 +7,7 @@ use medes_core::config::PlatformConfig;
 use medes_core::dedup::{dedup_op, index_base_sandbox};
 use medes_core::ids::{FnId, NodeId, SandboxId};
 use medes_core::images::ImageFactory;
-use medes_core::registry::FingerprintRegistry;
+use medes_core::registry::RegistryClient;
 use medes_core::restore::restore_op;
 use medes_hash::sample::{page_fingerprint, FingerprintConfig};
 use medes_mem::{AslrConfig, ContentModel};
@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 fn bench_registry_lookup(c: &mut Criterion) {
     let cfg = FingerprintConfig::default();
-    let reg = FingerprintRegistry::new();
+    let reg = RegistryClient::new();
     let mut rng = medes_sim::DetRng::new(7);
     let mut pages = Vec::new();
     for i in 0..2000u64 {
@@ -45,7 +45,7 @@ fn bench_registry_lookup(c: &mut Criterion) {
 
 type Setup = (
     PlatformConfig,
-    FingerprintRegistry,
+    RegistryClient,
     Fabric,
     Arc<medes_mem::MemoryImage>,
     Arc<medes_mem::MemoryImage>,
@@ -60,7 +60,7 @@ fn pipeline_setup() -> Setup {
         AslrConfig::DISABLED,
         cfg.mem_scale,
     );
-    let registry = FingerprintRegistry::new();
+    let registry = RegistryClient::new();
     let fabric = Fabric::new(cfg.nodes, cfg.net.clone());
     let base = factory.pin(FnId(0), 1);
     index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);

@@ -34,6 +34,13 @@
 //! so nonsense (zero shards, cache larger than node memory) is
 //! rejected up front instead of mutating config fields ad hoc.
 //!
+//! `--registry-owners <n>` places the fingerprint registry's shards on
+//! the first `n` worker nodes (the distributed backend, DESIGN.md §15)
+//! in every cluster run; registry traffic is routed as priced RPCs and
+//! reported through obs counters, while the `RunReport` stays
+//! byte-identical to the in-process backend. The `registry` experiment
+//! sweeps placements on its own and ignores this flag.
+//!
 //! `--content-model` switches every cluster run to the calibrated
 //! entropy-mixture content model (DESIGN.md §13): per-region
 //! low/medium/high-entropy page mixes with dispersed per-instance
@@ -62,7 +69,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--stream] [--timeseries <ms>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>] [--content-model] [--microbench]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\n       experiments trace timeline <trace.timeseries.jsonl>\n       experiments trace diff <base.jsonl> <cand.jsonl> [--threshold <f>]\nids: {}",
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--stream] [--timeseries <ms>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>] [--registry-owners <n>] [--content-model] [--microbench]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\n       experiments trace timeline <trace.timeseries.jsonl>\n       experiments trace diff <base.jsonl> <cand.jsonl> [--threshold <f>]\nids: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -289,6 +296,12 @@ fn main() {
                 };
                 let (shards, _) = cfg.pipeline.unwrap_or((1, 1));
                 cfg.pipeline = Some((shards, n));
+            }
+            "--registry-owners" => {
+                let Some(n) = it.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    usage();
+                };
+                cfg.registry_owners = Some(n);
             }
             "list" => {
                 for id in experiments::ALL {

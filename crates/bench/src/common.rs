@@ -80,6 +80,12 @@ pub struct ExpConfig {
     /// gauge/counter set every interval into `.timeseries.jsonl` next
     /// to the trace. Inert without `--obs`.
     pub timeseries_ms: Option<u64>,
+    /// Optional distributed registry placement (`--registry-owners`):
+    /// the fingerprint registry's shards are placed on the first `n`
+    /// worker nodes and all registry traffic is routed as priced RPCs
+    /// (DESIGN.md §15). `None` keeps the in-process backend (and, by
+    /// design, byte-identical reports either way).
+    pub registry_owners: Option<usize>,
     /// Entropy-mixture content model (`--content-model`): every
     /// platform built by [`ExpConfig::platform`] uses the calibrated
     /// per-region low/medium/high-entropy mixture with dispersed
@@ -102,6 +108,7 @@ impl ExpConfig {
             pipeline: None,
             stream: false,
             timeseries_ms: None,
+            registry_owners: None,
             content_model: false,
         }
     }
@@ -254,6 +261,9 @@ impl ExpConfig {
         if let Some((shards, workers)) = self.pipeline {
             b = b.shards(shards).workers(workers);
         }
+        if let Some(owners) = self.registry_owners {
+            b = b.registry_owners(owners);
+        }
         if self.content_model {
             b = b.tweak(|c| {
                 c.content.mixture = medes_mem::ContentModelConfig::paper_calibrated();
@@ -401,6 +411,21 @@ mod tests {
         assert!(obs.stream);
         assert_eq!(obs.sample_every_ms, 500);
         assert!(obs.export_dir.is_some());
+    }
+
+    #[test]
+    fn registry_owners_flag_selects_distributed_backend() {
+        use medes_core::config::RegistryPlacement;
+        let mut cfg = ExpConfig::quick();
+        assert_eq!(cfg.platform().registry, RegistryPlacement::InProcess);
+        cfg.registry_owners = Some(3);
+        assert_eq!(
+            cfg.platform().registry,
+            RegistryPlacement::Distributed { owners: 3 }
+        );
+        // The validating builder rejects placements wider than the cluster.
+        cfg.registry_owners = Some(100);
+        assert!(cfg.try_platform().is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use medes_core::config::PlatformConfig;
 use medes_core::dedup::{dedup_op, index_base_sandbox};
 use medes_core::ids::{FnId, NodeId, SandboxId};
 use medes_core::images::ImageFactory;
-use medes_core::registry::FingerprintRegistry;
+use medes_core::registry::RegistryClient;
 use medes_core::restore::restore_op;
 use medes_mem::{AslrConfig, ContentModel};
 use medes_net::Fabric;
@@ -35,7 +35,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let mut json = Vec::new();
 
     for (i, p) in suite.iter().enumerate() {
-        let registry = FingerprintRegistry::new();
+        let registry = RegistryClient::new();
         let mut fabric = Fabric::new(pcfg.nodes, pcfg.net.clone());
         let base = factory.pin(FnId(i), 1000 + i as u64);
         let base_id = SandboxId(i as u64);

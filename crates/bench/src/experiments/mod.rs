@@ -18,6 +18,7 @@ pub mod obs_overhead;
 pub mod obs_stream;
 pub mod overheads;
 pub mod pipeline;
+pub mod registry;
 pub mod scenarios;
 pub mod table2;
 pub mod table3;
@@ -49,6 +50,7 @@ pub const ALL: &[&str] = &[
     "chaos",
     "cache",
     "pipeline",
+    "registry",
     "scenarios",
     "microbench",
 ];
@@ -77,6 +79,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "chaos" => chaos::run(cfg),
         "cache" => cache::run(cfg),
         "pipeline" => pipeline::run(cfg),
+        "registry" => registry::run(cfg),
         "scenarios" => scenarios::run(cfg),
         "microbench" => crate::microbench::run(cfg),
         _ => return None,

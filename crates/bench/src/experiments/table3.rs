@@ -11,7 +11,7 @@ use medes_core::config::PlatformConfig;
 use medes_core::dedup::{dedup_op, index_base_sandbox};
 use medes_core::ids::{FnId, NodeId, SandboxId};
 use medes_core::images::ImageFactory;
-use medes_core::registry::FingerprintRegistry;
+use medes_core::registry::RegistryClient;
 use medes_mem::{AslrConfig, ContentModel, MemoryImage};
 use medes_net::Fabric;
 use std::collections::HashMap;
@@ -46,7 +46,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
     // A cluster-like base pool: one base sandbox per function, all
     // indexed — so cross-function RSCs are available exactly as on a
     // running platform.
-    let registry = FingerprintRegistry::new();
+    let registry = RegistryClient::new();
     let mut bases: HashMap<SandboxId, (FnId, Arc<MemoryImage>)> = HashMap::new();
     for (i, _) in suite.iter().enumerate() {
         let img = factory.pin(FnId(i), 5000 + i as u64);

@@ -179,6 +179,27 @@ pub struct PlatformConfig {
     /// invalidate older-version sandboxes and their demarcated base
     /// pages. Empty (the default) is the provable no-op.
     pub deploys: DeploySchedule,
+    /// Where the fingerprint registry lives. The default controller-
+    /// resident placement is byte-identical to earlier revisions; the
+    /// distributed placement stores shards on worker nodes and routes
+    /// registry traffic over the fabric as priced RPCs.
+    pub registry: RegistryPlacement,
+}
+
+/// Placement of the fingerprint registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegistryPlacement {
+    /// Controller-resident sharded registry (the default).
+    #[default]
+    InProcess,
+    /// Shards owned by the first `owners` worker nodes, accessed over
+    /// the fabric. Candidate results — and the `RunReport` — are
+    /// bit-identical to [`RegistryPlacement::InProcess`] at any owner
+    /// count; only the accounted registry-RPC traffic differs.
+    Distributed {
+        /// Number of owner nodes; must lie in `1..=nodes`.
+        owners: usize,
+    },
 }
 
 /// A rejected [`PlatformConfigBuilder`] configuration.
@@ -224,6 +245,15 @@ pub enum ConfigError {
     /// The content-model entropy-mixture weights are not valid
     /// probabilities (each region's fractions must sum to ≤ 1).
     InvalidMixture,
+    /// A distributed registry needs at least one owner node.
+    ZeroRegistryOwners,
+    /// A distributed registry cannot have more owners than nodes.
+    RegistryOwnersExceedNodes {
+        /// Requested owner count.
+        owners: usize,
+        /// Number of worker nodes configured.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -264,6 +294,15 @@ impl std::fmt::Display for ConfigError {
                 write!(
                     f,
                     "content-model mixture weights must be probabilities summing to <= 1"
+                )
+            }
+            ConfigError::ZeroRegistryOwners => {
+                write!(f, "distributed registry needs at least one owner node")
+            }
+            ConfigError::RegistryOwnersExceedNodes { owners, nodes } => {
+                write!(
+                    f,
+                    "distributed registry wants {owners} owner nodes but the cluster has {nodes}"
                 )
             }
         }
@@ -346,6 +385,20 @@ impl PlatformConfigBuilder {
     /// Dedup worker-pool size; 0 keeps the legacy serial path.
     pub fn workers(mut self, workers: usize) -> Self {
         self.cfg.pipeline.workers = workers;
+        self
+    }
+
+    /// Registry placement (in-process vs distributed).
+    pub fn registry(mut self, placement: RegistryPlacement) -> Self {
+        self.cfg.registry = placement;
+        self
+    }
+
+    /// Distributes the fingerprint registry across `owners` worker
+    /// nodes. Shorthand for
+    /// `registry(RegistryPlacement::Distributed { owners })`.
+    pub fn registry_owners(mut self, owners: usize) -> Self {
+        self.cfg.registry = RegistryPlacement::Distributed { owners };
         self
     }
 
@@ -435,6 +488,17 @@ impl PlatformConfigBuilder {
         if !c.content.mixture.is_valid() {
             return Err(ConfigError::InvalidMixture);
         }
+        if let RegistryPlacement::Distributed { owners } = c.registry {
+            if owners == 0 {
+                return Err(ConfigError::ZeroRegistryOwners);
+            }
+            if owners > c.nodes {
+                return Err(ConfigError::RegistryOwnersExceedNodes {
+                    owners,
+                    nodes: c.nodes,
+                });
+            }
+        }
         Ok(self.cfg)
     }
 }
@@ -484,6 +548,7 @@ impl PlatformConfig {
             pipeline: DedupPipelineConfig::default(),
             node_mem_profile: Vec::new(),
             deploys: DeploySchedule::default(),
+            registry: RegistryPlacement::InProcess,
         }
     }
 
@@ -650,6 +715,42 @@ mod tests {
         );
         // Errors render as actionable messages.
         assert!(ConfigError::ZeroShards.to_string().contains("shard"));
+    }
+
+    #[test]
+    fn registry_placement_validation() {
+        // Default placement is in-process.
+        let c = PlatformConfig::builder().build().unwrap();
+        assert_eq!(c.registry, RegistryPlacement::InProcess);
+        // A valid distributed placement round-trips through the setter.
+        let d = PlatformConfig::builder()
+            .nodes(8)
+            .registry_owners(4)
+            .build()
+            .expect("valid distributed registry");
+        assert_eq!(d.registry, RegistryPlacement::Distributed { owners: 4 });
+        // Zero owners and more owners than nodes are rejected.
+        assert_eq!(
+            PlatformConfig::builder()
+                .registry_owners(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroRegistryOwners
+        );
+        assert_eq!(
+            PlatformConfig::builder()
+                .nodes(4)
+                .registry_owners(12)
+                .build()
+                .unwrap_err(),
+            ConfigError::RegistryOwnersExceedNodes {
+                owners: 12,
+                nodes: 4
+            }
+        );
+        assert!(ConfigError::ZeroRegistryOwners
+            .to_string()
+            .contains("owner"));
     }
 
     #[test]

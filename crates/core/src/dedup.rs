@@ -15,7 +15,7 @@
 
 use crate::config::PlatformConfig;
 use crate::ids::{FnId, NodeId, SandboxId};
-use crate::registry::FingerprintRegistry;
+use crate::registry::RegistryClient;
 use crate::sandbox::{DedupPageTable, PageEntry};
 use medes_delta::{encode_with, EncodeConfig, EncodeScratch};
 use medes_hash::sample::pages_fingerprints;
@@ -160,7 +160,7 @@ pub struct DedupScan {
 }
 
 /// Runs the compute phase of the dedup op: per-page fingerprints, a
-/// registry [`lookup_batch`](FingerprintRegistry::lookup_batch)
+/// registry [`lookup_batch`](RegistryClient::lookup_batch)
 /// (grouped by shard), base-page election, and patch encoding.
 ///
 /// Takes the registry by `&self` and touches no fabric state, so any
@@ -168,7 +168,7 @@ pub struct DedupScan {
 /// same registry.
 pub fn dedup_scan<F>(
     cfg: &PlatformConfig,
-    registry: &FingerprintRegistry,
+    registry: &RegistryClient,
     node: NodeId,
     func: FnId,
     image: &MemoryImage,
@@ -330,7 +330,7 @@ pub fn dedup_commit(
 /// `bases` (the platform pins base images while referenced).
 pub fn dedup_op<F>(
     cfg: &PlatformConfig,
-    registry: &FingerprintRegistry,
+    registry: &RegistryClient,
     fabric: &mut Fabric,
     node: NodeId,
     func: FnId,
@@ -348,7 +348,7 @@ where
 /// Returns the number of pages indexed.
 pub fn index_base_sandbox(
     cfg: &PlatformConfig,
-    registry: &FingerprintRegistry,
+    registry: &RegistryClient,
     node: NodeId,
     sandbox: SandboxId,
     image: &MemoryImage,
@@ -378,7 +378,7 @@ mod tests {
     use medes_net::NetConfig;
     use medes_trace::functionbench_suite;
 
-    fn setup() -> (PlatformConfig, ImageFactory, FingerprintRegistry, Fabric) {
+    fn setup() -> (PlatformConfig, ImageFactory, RegistryClient, Fabric) {
         let cfg = PlatformConfig::small_test();
         let factory = ImageFactory::new(
             &functionbench_suite()[..2],
@@ -386,7 +386,7 @@ mod tests {
             AslrConfig::DISABLED,
             cfg.mem_scale,
         );
-        let registry = FingerprintRegistry::new();
+        let registry = RegistryClient::new();
         let fabric = Fabric::new(cfg.nodes, NetConfig::default());
         (cfg, factory, registry, fabric)
     }
@@ -483,7 +483,7 @@ mod tests {
             }])
         };
         let mut cfg = PlatformConfig::small_test();
-        let registry = FingerprintRegistry::new();
+        let registry = RegistryClient::new();
         let mut fabric = Fabric::new(cfg.nodes, medes_net::NetConfig::default());
         let base = Arc::new(synth(4, 0xBA5E));
         index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);

@@ -20,7 +20,7 @@
 //! bump the epoch, so stale timers are ignored — the standard DES
 //! pattern for cancellable timeouts.
 
-use crate::config::{PlatformConfig, PolicyKind};
+use crate::config::{PlatformConfig, PolicyKind, RegistryPlacement};
 use crate::controller::{FunctionRuntime, QueuedRequest};
 use crate::dedup::{
     dedup_commit, dedup_op, dedup_scan, index_base_sandbox, DedupOutcome, DedupScan, DedupTiming,
@@ -29,7 +29,7 @@ use crate::ids::{FnId, NodeId, SandboxId};
 use crate::images::ImageFactory;
 use crate::metrics::{FnDedupStats, MetricsCollector, RequestRecord, RunReport, StartType};
 use crate::pagecache::BasePageCache;
-use crate::registry::FingerprintRegistry;
+use crate::registry::RegistryClient;
 use crate::restore::{restore_op_cached, RestoreTiming};
 use crate::sandbox::{Sandbox, SandboxState};
 use medes_mem::MemoryImage;
@@ -245,7 +245,7 @@ struct Cluster {
     cfg: PlatformConfig,
     factory: ImageFactory,
     fabric: Fabric,
-    registry: FingerprintRegistry,
+    registry: RegistryClient,
     nodes: Vec<NodeState>,
     sandboxes: HashMap<SandboxId, Sandbox>,
     fns: Vec<FunctionRuntime>,
@@ -316,7 +316,19 @@ impl Cluster {
             horizon,
             factory,
             fabric,
-            registry: FingerprintRegistry::with_shards_obs(cfg.pipeline.shards, Arc::clone(&obs)),
+            registry: match cfg.registry {
+                RegistryPlacement::InProcess => {
+                    RegistryClient::in_process(cfg.pipeline.shards, Arc::clone(&obs))
+                }
+                RegistryPlacement::Distributed { owners } => RegistryClient::distributed(
+                    cfg.pipeline.shards,
+                    owners,
+                    cfg.nodes,
+                    cfg.net.clone(),
+                    cfg.retry,
+                    Arc::clone(&obs),
+                ),
+            },
             obs,
             cfg,
             pending_dedups: Vec::new(),
@@ -588,6 +600,20 @@ impl Cluster {
             0,
             "crash purge must drop every registry chunk on the dead node"
         );
+        // Shard ownership survives the crash: a distributed backend
+        // purges the dead owner's shard copies, re-demarcates them to
+        // survivors, and re-replicates the recoverable entries (their
+        // bases live on surviving nodes — the dead node's bases were
+        // just purged above). In-process backends own nothing here.
+        let recovery = self.registry.on_node_crash(NodeId(node));
+        debug_assert_eq!(
+            self.registry.entries_owned_by(NodeId(node)),
+            0,
+            "re-demarcation must leave no shard owned by the dead node"
+        );
+        if recovery.reassigned_shards > 0 {
+            self.obs.incr("medes.platform.registry_reassignments");
+        }
         // The dead node's own cache dies with it (its memory is gone);
         // entries for its bases were already invalidated cluster-wide
         // by the crash purges above.
@@ -794,8 +820,8 @@ impl Cluster {
                 // phase span the op will emit afterwards.
                 let root = self.obs.trace_root("request", self.cfg.seed, req.id);
                 let op_ctx = RestoreTiming::op_ctx(root);
-                self.fabric.set_ctx(RestoreTiming::base_read_ctx(op_ctx));
                 let restored = {
+                    let mut fabric = self.fabric.with_ctx(RestoreTiming::base_read_ctx(op_ctx));
                     let bases = &self.bases;
                     let cache = if cache_on {
                         Some(&mut self.caches[node.0])
@@ -804,7 +830,7 @@ impl Cluster {
                     };
                     restore_op_cached(
                         &self.cfg,
-                        &mut self.fabric,
+                        &mut fabric,
                         node,
                         table.as_ref().expect("dedup sandbox has a table"),
                         &|bid| bases.get(&bid).map(|(f, img)| (Arc::clone(img), *f)),
@@ -812,7 +838,6 @@ impl Cluster {
                         verify.as_deref(),
                     )
                 };
-                self.fabric.clear_ctx();
                 if cache_on {
                     // Charge freshly cached pages to node memory, and
                     // trim the cache back if that pushed the node over
@@ -1053,18 +1078,19 @@ impl Cluster {
         let droot = self
             .obs
             .trace_root("dedup", self.cfg.seed, self.dedup_trace_key(id, now));
-        self.fabric.set_ctx(DedupTiming::op_ctx(droot));
-        let bases = &self.bases;
-        let result = dedup_op(
-            &self.cfg,
-            &self.registry,
-            &mut self.fabric,
-            node,
-            func,
-            &image,
-            &|bid| bases.get(&bid).map(|(bf, img)| (Arc::clone(img), *bf)),
-        );
-        self.fabric.clear_ctx();
+        let result = {
+            let mut fabric = self.fabric.with_ctx(DedupTiming::op_ctx(droot));
+            let bases = &self.bases;
+            dedup_op(
+                &self.cfg,
+                &self.registry,
+                &mut fabric,
+                node,
+                func,
+                &image,
+                &|bid| bases.get(&bid).map(|(bf, img)| (Arc::clone(img), *bf)),
+            )
+        };
         let outcome = match result {
             Ok(o) => o,
             Err(_) => {
@@ -1221,9 +1247,10 @@ impl Cluster {
             let droot =
                 self.obs
                     .trace_root("dedup", self.cfg.seed, self.dedup_trace_key(item.id, now));
-            self.fabric.set_ctx(DedupTiming::op_ctx(droot));
-            let committed = dedup_commit(&self.cfg, &mut self.fabric, item.node, scan);
-            self.fabric.clear_ctx();
+            let committed = {
+                let mut fabric = self.fabric.with_ctx(DedupTiming::op_ctx(droot));
+                dedup_commit(&self.cfg, &mut fabric, item.node, scan)
+            };
             match committed {
                 Ok(outcome) => {
                     outcome.timing.record(
@@ -1393,6 +1420,29 @@ impl Cluster {
             .filter(|&i| self.nodes[i].down)
             .map(|i| self.registry.locs_on_node(NodeId(i)))
             .sum();
+        if self.obs.enabled() {
+            // Registry RPC traffic and ownership hygiene are exported
+            // as obs counters, never RunReport fields: the report must
+            // stay bit-identical across registry placements, while the
+            // overhead figures (§7.7) remain observable per run.
+            let rstats = self.registry.rpc_stats();
+            self.obs
+                .counter_add("medes.registry.rpc_total", rstats.rpcs);
+            self.obs
+                .counter_add("medes.registry.rpc_bytes_total", rstats.rpc_bytes);
+            self.obs.counter_add(
+                "medes.registry.rpc_time_us",
+                self.registry.rpc_time().as_micros(),
+            );
+            let dead_owner_entries: usize = (0..self.nodes.len())
+                .filter(|&i| self.nodes[i].down)
+                .map(|i| self.registry.entries_owned_by(NodeId(i)))
+                .sum();
+            self.obs.counter_add(
+                "medes.registry.dead_owner_entries",
+                dead_owner_entries as u64,
+            );
+        }
         for c in &self.caches {
             let s = c.stats();
             self.metrics.report.cache_hits += s.hits;
@@ -1426,8 +1476,10 @@ impl World for Cluster {
 
     fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
-        // Fault windows are evaluated at the fabric's current instant.
+        // Fault windows are evaluated at the fabric's current instant;
+        // the registry backend prices its RPCs at the same instant.
         self.fabric.set_now(now);
+        self.registry.set_now(now);
         match event {
             Ev::Arrival { id, func } => {
                 self.obs.incr("medes.platform.arrivals");
@@ -1684,6 +1736,9 @@ impl World for Cluster {
                     self.nodes[node].down = false;
                     self.metrics.report.node_restarts += 1;
                     self.obs.incr("medes.platform.node_restarts");
+                    // The node rejoins the registry's owner candidate
+                    // set (it reclaims no shards).
+                    self.registry.on_node_restart(NodeId(node));
                 }
             }
         }

@@ -367,7 +367,7 @@ mod tests {
     use crate::dedup::{dedup_op, index_base_sandbox};
     use crate::ids::{FnId, SandboxId};
     use crate::images::ImageFactory;
-    use crate::registry::FingerprintRegistry;
+    use crate::registry::RegistryClient;
     use medes_mem::{AslrConfig, ContentModel};
     use medes_net::NetConfig;
     use medes_trace::functionbench_suite;
@@ -402,7 +402,7 @@ mod tests {
         MemoryImage,
     ) {
         let cfg = PlatformConfig::small_test();
-        let registry = FingerprintRegistry::new();
+        let registry = RegistryClient::new();
         let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
         let base = Arc::new(synth_image(4, 0xBA5E));
         index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
@@ -448,7 +448,7 @@ mod tests {
             AslrConfig::DISABLED,
             cfg.mem_scale,
         );
-        let registry = FingerprintRegistry::new();
+        let registry = RegistryClient::new();
         let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
         let base = factory.pin(FnId(0), 10);
         index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);

@@ -33,13 +33,24 @@
 //!
 //! The fabric carries a [`TraceCtx`] the same way it carries the
 //! current simulated time: the caller installs the context of the
-//! surrounding operation with [`Fabric::set_ctx`] before issuing
+//! surrounding operation with [`Fabric::with_ctx`] before issuing
 //! retried ops, and every **failed attempt** then emits a
 //! `medes.net.retry` span (covering the attempt's detection timeout)
 //! parented under that context — so fault retries show up as children
-//! inside the restore/dedup trace tree they delayed. Timing is never
-//! affected; with no context installed (or obs disabled) no spans are
-//! emitted.
+//! inside the restore/dedup trace tree they delayed. The returned
+//! [`CtxGuard`] restores the previously-installed context when it
+//! drops, so a panicking or early-returning operation can never leave
+//! a stale context behind. Timing is never affected; with no context
+//! installed (or obs disabled) no spans are emitted.
+//!
+//! ## Registry RPCs
+//!
+//! The distributed fingerprint registry routes lookups, inserts,
+//! removals, and crash-time shard re-replication over the fabric.
+//! [`Fabric::registry_rpc_retry`] prices those exactly like
+//! [`Fabric::rpc_retry`] and additionally tallies per-kind
+//! `medes.net.registry.*` counters (see [`RegistryOp`]) so registry
+//! traffic is separable from data-path RDMA and control-path RPCs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -247,15 +258,13 @@ impl Fabric {
 
     /// Installs the trace context of the operation about to issue
     /// fabric ops (mirror of [`Fabric::set_now`]). Failed retry
-    /// attempts emit `medes.net.retry` spans parented under it. Pair
-    /// with [`Fabric::clear_ctx`] when the operation completes.
-    pub fn set_ctx(&mut self, ctx: TraceCtx) {
-        self.ctx = ctx;
-    }
-
-    /// Clears the trace context installed by [`Fabric::set_ctx`].
-    pub fn clear_ctx(&mut self) {
-        self.ctx = TraceCtx::NONE;
+    /// attempts emit `medes.net.retry` spans parented under it. The
+    /// returned [`CtxGuard`] dereferences to the fabric and restores
+    /// the previously-installed context when dropped — even on panic —
+    /// so a context can never outlive the operation that installed it.
+    pub fn with_ctx(&mut self, ctx: TraceCtx) -> CtxGuard<'_> {
+        let prev = std::mem::replace(&mut self.ctx, ctx);
+        CtxGuard { fabric: self, prev }
     }
 
     /// Number of nodes.
@@ -685,6 +694,85 @@ impl Fabric {
             self.nodes
         );
     }
+
+    /// [`Fabric::rpc_retry`] attributed to the distributed fingerprint
+    /// registry: identical pricing and fault semantics, plus per-kind
+    /// `medes.net.registry.*` counters so registry traffic is
+    /// separable from the rest of the control path.
+    pub fn registry_rpc_retry(
+        &mut self,
+        a: NodeIdx,
+        b: NodeIdx,
+        op: RegistryOp,
+        req_bytes: usize,
+        resp_bytes: usize,
+        policy: &RetryPolicy,
+    ) -> Result<RetryOutcome, NetError> {
+        let out = self.rpc_retry(a, b, req_bytes, resp_bytes, policy)?;
+        if self.obs.enabled() {
+            self.obs.incr(op.counter_name());
+            self.obs.incr("medes.net.registry.rpcs");
+            self.obs.counter_add(
+                "medes.net.registry.rpc_bytes",
+                (req_bytes + resp_bytes) as u64,
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// RAII guard returned by [`Fabric::with_ctx`]. Dereferences to the
+/// [`Fabric`] so retried ops can be issued under the installed
+/// context; restores the previous context on drop.
+#[derive(Debug)]
+pub struct CtxGuard<'a> {
+    fabric: &'a mut Fabric,
+    prev: TraceCtx,
+}
+
+impl std::ops::Deref for CtxGuard<'_> {
+    type Target = Fabric;
+    fn deref(&self) -> &Fabric {
+        self.fabric
+    }
+}
+
+impl std::ops::DerefMut for CtxGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Fabric {
+        self.fabric
+    }
+}
+
+impl Drop for CtxGuard<'_> {
+    fn drop(&mut self) {
+        self.fabric.ctx = self.prev;
+    }
+}
+
+/// Registry RPC operation kinds, used by [`Fabric::registry_rpc_retry`]
+/// to attribute distributed-registry traffic per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryOp {
+    /// Fingerprint lookup probes sent to a shard owner.
+    Lookup,
+    /// Chunk-entry insertion on a shard owner.
+    Insert,
+    /// Base-sandbox removal broadcast to shard owners.
+    Remove,
+    /// Bulk shard transfer during crash-time re-replication.
+    Replicate,
+}
+
+impl RegistryOp {
+    /// The obs counter tallying round trips of this kind.
+    pub const fn counter_name(self) -> &'static str {
+        match self {
+            RegistryOp::Lookup => "medes.net.registry.lookup_rpcs",
+            RegistryOp::Insert => "medes.net.registry.insert_rpcs",
+            RegistryOp::Remove => "medes.net.registry.remove_rpcs",
+            RegistryOp::Replicate => "medes.net.registry.replicate_rpcs",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1060,9 +1148,10 @@ mod tests {
         // its detection timeout.
         let ctx = obs.trace_root("request", 7, 42);
         f.set_now(SimTime::from_millis(5));
-        f.set_ctx(ctx);
-        assert!(f.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
-        f.clear_ctx();
+        {
+            let mut g = f.with_ctx(ctx);
+            assert!(g.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
+        }
         let spans = obs.spans();
         assert_eq!(spans.len(), 3);
         for (i, s) in spans.iter().enumerate() {
@@ -1077,9 +1166,73 @@ mod tests {
         }
         // First attempt starts at the fabric's current instant.
         assert_eq!(spans[0].start_us, 5_000);
-        // After clear_ctx, failures are silent again.
+        // Once the guard dropped, failures are silent again.
         assert!(f.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
         assert_eq!(obs.span_count(), 3);
+    }
+
+    #[test]
+    fn ctx_guard_restores_previous_context_on_drop() {
+        let obs = Obs::new(medes_obs::ObsConfig::enabled());
+        let plan = FaultPlan {
+            crashes: vec![NodeCrash {
+                node: 1,
+                at: SimTime::ZERO,
+                restart: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut f = Fabric::with_obs(4, NetConfig::default(), Arc::clone(&obs));
+        f.set_faults(FaultSchedule::compile(&plan));
+        let policy = RetryPolicy::no_retry();
+        let outer = obs.trace_root("outer", 1, 1);
+        let inner = obs.trace_root("inner", 2, 2);
+        {
+            let mut g1 = f.with_ctx(outer);
+            {
+                // Nested installs stack: the inner guard restores the
+                // outer context, not NONE.
+                let mut g2 = g1.with_ctx(inner);
+                assert!(g2.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
+            }
+            assert!(g1.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
+        }
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].trace_id, inner.trace_id);
+        assert_eq!(spans[1].trace_id, outer.trace_id);
+        // Fully unwound: no context installed, failures are silent.
+        assert!(f.rdma_read_batch_retry(0, &[(1, 64)], &policy).is_err());
+        assert_eq!(obs.span_count(), 2);
+    }
+
+    #[test]
+    fn registry_rpcs_are_priced_like_rpcs_and_counted_separately() {
+        let obs = Obs::new(medes_obs::ObsConfig::enabled());
+        let mut f = Fabric::with_obs(4, NetConfig::default(), Arc::clone(&obs));
+        let policy = RetryPolicy::no_retry();
+        let t = f
+            .registry_rpc_retry(0, 1, RegistryOp::Lookup, 40, 120, &policy)
+            .unwrap()
+            .time;
+        let plain = fabric().rpc(0, 1, 40, 120).unwrap();
+        assert_eq!(t, plain);
+        f.registry_rpc_retry(0, 2, RegistryOp::Insert, 64, 8, &policy)
+            .unwrap();
+        f.registry_rpc_retry(0, 2, RegistryOp::Remove, 8, 8, &policy)
+            .unwrap();
+        f.registry_rpc_retry(1, 2, RegistryOp::Replicate, 16, 4096, &policy)
+            .unwrap();
+        assert_eq!(obs.counter("medes.net.registry.rpcs"), 4);
+        assert_eq!(obs.counter("medes.net.registry.lookup_rpcs"), 1);
+        assert_eq!(obs.counter("medes.net.registry.insert_rpcs"), 1);
+        assert_eq!(obs.counter("medes.net.registry.remove_rpcs"), 1);
+        assert_eq!(obs.counter("medes.net.registry.replicate_rpcs"), 1);
+        assert_eq!(
+            obs.counter("medes.net.registry.rpc_bytes"),
+            (40 + 120 + 64 + 8 + 8 + 8 + 16 + 4096) as u64
+        );
+        assert_eq!(f.stats().rpcs, 4);
     }
 
     #[test]

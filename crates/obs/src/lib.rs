@@ -105,13 +105,6 @@ impl ObsConfig {
         self.export_dir = Some(dir.into());
     }
 
-    /// Sets the export directory (builder style). Thin shim over
-    /// [`ObsConfig::set_export_dir`].
-    pub fn export_to(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.set_export_dir(dir);
-        self
-    }
-
     /// Sets the run tag (builder style).
     pub fn tagged(mut self, tag: impl Into<String>) -> Self {
         self.run_tag = tag.into();
@@ -843,12 +836,9 @@ mod tests {
         use medes_sim::DetRng;
         let dir = std::env::temp_dir().join(format!("medes-obs-stream-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let streamed = Obs::new(
-            ObsConfig::enabled()
-                .export_to(&dir)
-                .tagged("prop")
-                .streamed(),
-        );
+        let mut stream_cfg = ObsConfig::enabled().tagged("prop").streamed();
+        stream_cfg.set_export_dir(&dir);
+        let streamed = Obs::new(stream_cfg);
         let buffered = Obs::new(ObsConfig::enabled());
         assert!(streamed.streaming());
         assert!(!buffered.streaming());
@@ -889,13 +879,11 @@ mod tests {
     fn streamed_ring_is_bounded_with_exact_accounting() {
         let dir = std::env::temp_dir().join(format!("medes-obs-ring-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let cfg = ObsConfig {
+        let mut cfg = ObsConfig {
             span_buffer_cap: 8,
-            ..ObsConfig::enabled()
-                .export_to(&dir)
-                .tagged("ring")
-                .streamed()
+            ..ObsConfig::enabled().tagged("ring").streamed()
         };
+        cfg.set_export_dir(&dir);
         let obs = Obs::new(cfg);
         for key in 0..100u64 {
             let root = obs.trace_root("op", 2, key);
@@ -924,12 +912,13 @@ mod tests {
     }
 
     /// Satellite: the `&mut self` export-dir setter composes without
-    /// rebind chains and the old builder method is a shim over it.
+    /// rebind chains (the old `export_to` builder shim is gone).
     #[test]
-    fn set_export_dir_matches_builder_shim() {
+    fn set_export_dir_composes_in_place() {
         let mut a = ObsConfig::enabled();
         a.set_export_dir("/tmp/medes-x");
-        let b = ObsConfig::enabled().export_to("/tmp/medes-x");
+        let mut b = ObsConfig::enabled();
+        b.export_dir = Some("/tmp/medes-x".into());
         assert_eq!(a, b);
     }
 
@@ -1002,10 +991,8 @@ mod tests {
     fn timeseries_flow_through_obs_and_export() {
         let dir = std::env::temp_dir().join(format!("medes-obs-ts-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let cfg = ObsConfig::enabled()
-            .export_to(&dir)
-            .tagged("ts")
-            .sampled_every_ms(100);
+        let mut cfg = ObsConfig::enabled().tagged("ts").sampled_every_ms(100);
+        cfg.set_export_dir(&dir);
         let obs = Obs::new(cfg);
         assert_eq!(obs.sample_interval(), Some(SimDuration::from_millis(100)));
         obs.counter_add("medes.x.ops", 2);
@@ -1048,9 +1035,8 @@ mod tests {
     fn write_trace_creates_directories() {
         let dir = std::env::temp_dir().join(format!("medes-obs-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let cfg = ObsConfig::enabled()
-            .export_to(dir.join("nested"))
-            .tagged("unit");
+        let mut cfg = ObsConfig::enabled().tagged("unit");
+        cfg.set_export_dir(dir.join("nested"));
         let obs = Obs::new(cfg);
         obs.span("s", t(0)).end(t(1));
         let path = obs.write_trace().unwrap().expect("path");

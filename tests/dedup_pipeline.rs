@@ -7,7 +7,7 @@ use medes::net::{Fabric, NetConfig};
 use medes::platform::config::PlatformConfig;
 use medes::platform::dedup::{dedup_op, index_base_sandbox};
 use medes::platform::ids::{FnId, NodeId, SandboxId};
-use medes::platform::registry::FingerprintRegistry;
+use medes::platform::registry::RegistryClient;
 use medes::platform::restore::restore_op;
 use medes_delta::apply;
 use std::sync::Arc;
@@ -37,7 +37,7 @@ fn full_pipeline_reconstructs_every_page() {
     let cfg = config();
     let base = image("PipeFn", 16, &["numpy"], cfg.mem_scale, 1);
     let target = image("PipeFn", 16, &["numpy"], cfg.mem_scale, 2);
-    let registry = FingerprintRegistry::new();
+    let registry = RegistryClient::new();
     let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
     index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
 
@@ -85,7 +85,7 @@ fn dedup_footprint_is_always_smaller_when_pages_patch() {
     let cfg = config();
     let base = image("SizeFn", 24, &["pandas"], cfg.mem_scale, 5);
     let target = image("SizeFn", 24, &["pandas"], cfg.mem_scale, 6);
-    let registry = FingerprintRegistry::new();
+    let registry = RegistryClient::new();
     let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
     index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
     let b = Arc::clone(&base);
@@ -118,8 +118,8 @@ fn aslr_reduces_dedup_effectiveness_but_not_correctness() {
         )
     };
     cfg.aslr = AslrConfig::LINUX;
-    let registry_off = FingerprintRegistry::new();
-    let registry_on = FingerprintRegistry::new();
+    let registry_off = RegistryClient::new();
+    let registry_on = RegistryClient::new();
     let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
 
     let base_off = build(AslrConfig::DISABLED, 1);
@@ -187,7 +187,7 @@ fn identical_pages_always_elect_a_base() {
         if fp.is_empty() {
             continue;
         }
-        let reg = FingerprintRegistry::new();
+        let reg = RegistryClient::new();
         reg.insert_page(
             &fp,
             medes::platform::registry::ChunkLoc {
@@ -220,7 +220,7 @@ fn savings_accounting_is_consistent() {
         let cfg = config();
         let base = image("PropFn", 8, &[], cfg.mem_scale, a);
         let target = image("PropFn", 8, &[], cfg.mem_scale, b);
-        let registry = FingerprintRegistry::new();
+        let registry = RegistryClient::new();
         let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
         index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
         let bb = Arc::clone(&base);

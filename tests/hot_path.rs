@@ -11,7 +11,7 @@ use medes::net::{Fabric, NetConfig};
 use medes::platform::config::PlatformConfig;
 use medes::platform::dedup::{dedup_op, index_base_sandbox};
 use medes::platform::ids::{FnId, NodeId, SandboxId};
-use medes::platform::registry::FingerprintRegistry;
+use medes::platform::registry::RegistryClient;
 use medes_delta::{apply, apply_into, encode_reference, EncodeConfig, PatchRef};
 use std::sync::Arc;
 
@@ -37,7 +37,7 @@ fn pipeline_patches_match_reference_encoder() {
     let cfg = config();
     let base = image("HotFn", 1, cfg.mem_scale);
     let target = image("HotFn", 2, cfg.mem_scale);
-    let registry = FingerprintRegistry::new();
+    let registry = RegistryClient::new();
     let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
     index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
     let b = Arc::clone(&base);

@@ -9,7 +9,7 @@ use medes::platform::config::{PlatformConfig, PolicyKind, RestoreReadConfig};
 use medes::platform::dedup::{dedup_op, index_base_sandbox};
 use medes::platform::ids::{FnId, NodeId, SandboxId};
 use medes::platform::metrics::RunReport;
-use medes::platform::registry::FingerprintRegistry;
+use medes::platform::registry::RegistryClient;
 use medes::platform::restore::restore_op;
 use medes::platform::Platform;
 use medes::policy::medes::Objective;
@@ -41,7 +41,7 @@ fn local_base_restore_beats_remote() {
         cfg.read_path = read_path;
         let base = image("LocalFn", cfg.mem_scale, 1);
         let target = image("LocalFn", cfg.mem_scale, 2);
-        let registry = FingerprintRegistry::new();
+        let registry = RegistryClient::new();
         let mut fabric = Fabric::new(cfg.nodes, NetConfig::default());
         index_base_sandbox(&cfg, &registry, NodeId(0), SandboxId(1), &base);
         let b = Arc::clone(&base);
