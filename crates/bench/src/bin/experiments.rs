@@ -63,13 +63,13 @@
 //! to `<results>/perf_history.jsonl`.
 
 use medes_bench::common::{ExpConfig, FaultSpec};
-use medes_bench::{analyze, diff, experiments, perf_history, summarize, timeline};
+use medes_bench::{analyze, attribute, diff, experiments, perf_history, summarize, timeline};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--sample <n>] [--stream] [--timeseries <ms>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>] [--registry-owners <n>] [--content-model] [--microbench]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\n       experiments trace timeline <trace.timeseries.jsonl>\n       experiments trace diff <base.jsonl> <cand.jsonl> [--threshold <f>]\nids: {}",
+        "usage: experiments <id>... [--quick] [--results <dir>] [--obs] [--labels] [--sample <n>] [--stream] [--timeseries <ms>] [--faults rate=<f>[,seed=<u64>]] [--cache <MiB>] [--shards <n>] [--workers <n>] [--registry-owners <n>] [--content-model] [--microbench]\n       experiments all [--quick]\n       experiments list\n       experiments trace summarize <trace.jsonl> [--top <n>]\n       experiments trace analyze <trace.jsonl> [--top <n>] [--anomaly-k <f>] [--folded <path>]\n       experiments trace timeline <trace.timeseries.jsonl> [--group-by <label>]\n       experiments trace diff <base.jsonl> <cand.jsonl> [--threshold <f>] [--group-by <label>]\n       experiments trace attribute <trace.jsonl> [<trace.prom>] [--top <n>]\nids: {}",
         experiments::ALL.join(", ")
     );
     std::process::exit(2);
@@ -166,12 +166,24 @@ fn run_analyze(args: &[String]) {
     }
 }
 
-/// `trace timeline <file.timeseries.jsonl>...`.
+/// `trace timeline <file.timeseries.jsonl>... [--group-by <label>]`.
 fn run_timeline(args: &[String]) {
-    if args.is_empty() {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut group_by: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--group-by" => {
+                let Some(l) = it.next() else { usage() };
+                group_by = Some(l.clone());
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    if files.is_empty() {
         usage();
     }
-    for path in args.iter().map(PathBuf::from) {
+    for path in files {
         let contents = match std::fs::read_to_string(&path) {
             Ok(c) => c,
             Err(e) => {
@@ -183,8 +195,50 @@ fn run_timeline(args: &[String]) {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.display().to_string());
-        let (report, _leaks) = timeline::timeline(&name, &contents);
+        let (report, _leaks) = timeline::timeline_by(&name, &contents, group_by.as_deref());
         println!("{}", report.text());
+    }
+}
+
+/// `trace attribute <trace.jsonl> [<trace.prom>] [--top <n>]`. Exits 1
+/// when any attribution is found — the drill-down doubles as a gate.
+fn run_attribute(args: &[String]) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                top = n;
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    let (trace_path, prom_path) = match files.as_slice() {
+        [t] => (t.clone(), t.with_extension("prom")),
+        [t, p] => (t.clone(), p.clone()),
+        _ => usage(),
+    };
+    let read = |p: &Path| match std::fs::read_to_string(p) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", p.display());
+            std::process::exit(1);
+        }
+    };
+    let trace = read(&trace_path);
+    let prom = read(&prom_path);
+    let name = trace_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| trace_path.display().to_string());
+    let (report, attributions) = attribute::attribute(&name, &prom, &trace, top);
+    println!("{}", report.text());
+    if !attributions.is_empty() {
+        std::process::exit(1);
     }
 }
 
@@ -211,6 +265,7 @@ fn load_diff_side(path: &Path) -> diff::TraceExport {
 fn run_diff(args: &[String]) {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut th = diff::DiffThresholds::default();
+    let mut group_by: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -220,13 +275,22 @@ fn run_diff(args: &[String]) {
                 };
                 th.rel = t;
             }
+            "--group-by" => {
+                let Some(l) = it.next() else { usage() };
+                group_by = Some(l.clone());
+            }
             path => files.push(PathBuf::from(path)),
         }
     }
     let [base, cand] = files.as_slice() else {
         usage();
     };
-    let (report, regressions) = diff::diff(&load_diff_side(base), &load_diff_side(cand), &th);
+    let (report, regressions) = diff::diff_by(
+        &load_diff_side(base),
+        &load_diff_side(cand),
+        &th,
+        group_by.as_deref(),
+    );
     println!("{}", report.text());
     if !regressions.is_empty() {
         std::process::exit(1);
@@ -241,6 +305,7 @@ fn main() {
             Some("analyze") => return run_analyze(&args[2..]),
             Some("timeline") => return run_timeline(&args[2..]),
             Some("diff") => return run_diff(&args[2..]),
+            Some("attribute") => return run_attribute(&args[2..]),
             _ => usage(),
         }
     }
@@ -251,6 +316,7 @@ fn main() {
         match a.as_str() {
             "--quick" => cfg.quick = true,
             "--obs" => cfg.obs = true,
+            "--labels" => cfg.labels = true,
             "--sample" => {
                 let Some(n) = it.next().and_then(|s| s.parse::<u64>().ok()) else {
                     usage();

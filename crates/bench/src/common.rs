@@ -86,6 +86,14 @@ pub struct ExpConfig {
     /// (DESIGN.md §15). `None` keeps the in-process backend (and, by
     /// design, byte-identical reports either way).
     pub registry_owners: Option<usize>,
+    /// Dimensional telemetry (`--labels`, with `--obs`): hot call
+    /// sites additionally keep bounded labeled twins of their metrics
+    /// (per node, per function class, per link, per shard owner),
+    /// histogram buckets retain exemplar trace ids, and the SLO
+    /// tracker keeps its top violators per function — the inputs of
+    /// `trace attribute`. Off by default: label-off runs export
+    /// byte-identical traces. Inert without `--obs`.
+    pub labels: bool,
     /// Entropy-mixture content model (`--content-model`): every
     /// platform built by [`ExpConfig::platform`] uses the calibrated
     /// per-region low/medium/high-entropy mixture with dispersed
@@ -109,6 +117,7 @@ impl ExpConfig {
             stream: false,
             timeseries_ms: None,
             registry_owners: None,
+            labels: false,
             content_model: false,
         }
     }
@@ -244,6 +253,9 @@ impl ExpConfig {
             }
             if let Some(ms) = self.timeseries_ms {
                 oc = oc.sampled_every_ms(ms);
+            }
+            if self.labels {
+                oc = oc.labeled();
             }
             b = b.obs(oc);
         }
@@ -411,6 +423,19 @@ mod tests {
         assert!(obs.stream);
         assert_eq!(obs.sample_every_ms, 500);
         assert!(obs.export_dir.is_some());
+    }
+
+    #[test]
+    fn labels_flag_requires_obs() {
+        let mut cfg = ExpConfig::quick();
+        cfg.labels = true;
+        // Without --obs the labels knob is inert (tracing is off).
+        assert!(!cfg.platform().obs.enabled);
+        assert!(!cfg.platform().obs.labels);
+        cfg.obs = true;
+        let obs = cfg.platform().obs;
+        assert!(obs.enabled);
+        assert!(obs.labels);
     }
 
     #[test]

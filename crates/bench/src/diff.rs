@@ -100,6 +100,9 @@ pub struct TraceExport {
     phase_self_us: BTreeMap<String, f64>,
     /// Final sampled value of every time-series gauge.
     series_last: BTreeMap<String, f64>,
+    /// Labeled twins from the tail's `labeled` key
+    /// (`name{k=v,...}` -> value), empty for label-off runs.
+    labeled: BTreeMap<String, f64>,
 }
 
 impl TraceExport {
@@ -109,6 +112,7 @@ impl TraceExport {
         let mut scalars = BTreeMap::new();
         let mut hist_p99 = BTreeMap::new();
         let mut slo_violations = 0.0;
+        let mut labeled = BTreeMap::new();
         // The tail is the last well-formed JSON object carrying a
         // "metrics" key (span lines parse too, but lack it).
         let tail = trace
@@ -129,6 +133,15 @@ impl TraceExport {
                             }
                         }
                         _ => {}
+                    }
+                }
+            }
+            if let Some(Json::Object(l)) = tail.get("labeled") {
+                for (name, v) in l.iter() {
+                    // Histogram twins export as objects; only scalar
+                    // twins are comparable endpoints here.
+                    if let Json::Num(x) = v {
+                        labeled.insert(name.to_string(), *x);
                     }
                 }
             }
@@ -168,8 +181,20 @@ impl TraceExport {
             slo_violations,
             phase_self_us,
             series_last,
+            labeled,
         }
     }
+}
+
+/// Splits a labeled tail key (`base{k=v,k=v}`) into base and pairs.
+fn split_labeled_key(name: &str) -> Option<(&str, Vec<(&str, &str)>)> {
+    let open = name.find('{')?;
+    let inner = name[open + 1..].strip_suffix('}')?;
+    let mut labels = Vec::new();
+    for pair in inner.split(',') {
+        labels.push(pair.split_once('=')?);
+    }
+    Some((&name[..open], labels))
 }
 
 /// Compares `cand` against `base`, returning the rendered report and
@@ -178,6 +203,21 @@ pub fn diff(
     base: &TraceExport,
     cand: &TraceExport,
     th: &DiffThresholds,
+) -> (Report, Vec<Regression>) {
+    diff_by(base, cand, th, None)
+}
+
+/// [`diff`] with an optional `--group-by <label>`: labeled twins in
+/// the tails carrying that label are aggregated per `(metric, label
+/// value)` and compared side by side. Grouped rows only *gate* (flag a
+/// regression) for metrics in the curated higher-is-worse set — a node
+/// doing more RDMA reads is a shift, not a regression — but every
+/// group is rendered so the shift is visible.
+pub fn diff_by(
+    base: &TraceExport,
+    cand: &TraceExport,
+    th: &DiffThresholds,
+    group_by: Option<&str>,
 ) -> (Report, Vec<Regression>) {
     let mut report = Report::new("trace-diff", &format!("{} vs {}", base.label, cand.label));
     report.line(&format!(
@@ -282,6 +322,63 @@ pub fn diff(
         })
         .collect();
     compare_section(&mut report, "time-series endpoints", rows);
+
+    // Labeled twins grouped by a dimension (`--group-by`). Rows whose
+    // base metric is in the higher-is-worse set gate like any other
+    // counter; the rest render as informational shift rows.
+    if let Some(group) = group_by {
+        let collect = |side: &TraceExport| {
+            let mut g: BTreeMap<(String, String), f64> = BTreeMap::new();
+            for (key, v) in &side.labeled {
+                let Some((name, labels)) = split_labeled_key(key) else {
+                    continue;
+                };
+                if let Some(&(_, gv)) = labels.iter().find(|(k, _)| *k == group) {
+                    *g.entry((name.to_string(), gv.to_string())).or_default() += v;
+                }
+            }
+            g
+        };
+        let (gb, gc) = (collect(base), collect(cand));
+        let keys: Vec<&(String, String)> = gb.keys().chain(gc.keys()).collect();
+        let mut gating = Vec::new();
+        let mut info: Vec<Vec<String>> = Vec::new();
+        let mut seen: Vec<&(String, String)> = Vec::new();
+        for key in keys {
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let (name, gv) = key;
+            let b = gb.get(key).copied().unwrap_or(0.0);
+            let c = gc.get(key).copied().unwrap_or(0.0);
+            let row_name = format!("{name}{{{group}={gv}}}");
+            if WORSE_COUNTERS.contains(&name.as_str()) {
+                gating.push((row_name, b, c, th.abs_count, false));
+            } else {
+                let delta = if b.abs() > f64::EPSILON {
+                    f(100.0 * (c - b) / b, 1)
+                } else {
+                    "-".to_string()
+                };
+                info.push(vec![row_name, f(b, 1), f(c, 1), delta]);
+            }
+        }
+        compare_section(
+            &mut report,
+            &format!("grouped by {group} (gated counters)"),
+            gating,
+        );
+        if !info.is_empty() {
+            report.section(&format!("grouped by {group} (informational)"));
+            report.table(&["metric", "base", "cand", "delta_%"], &info);
+        } else if seen.is_empty() {
+            report.section(&format!("grouped by {group}"));
+            report.line(&format!(
+                "no labeled series carry a {group} label (labeled run required: --obs --labels)"
+            ));
+        }
+    }
 
     if regressions.is_empty() {
         report.line("\nclean: no regressions past thresholds");
@@ -410,6 +507,51 @@ mod tests {
         let (_, regressions) = diff(&cand, &base, &DiffThresholds::default());
         let names: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
         assert!(!names.contains(&"end:medes.cache.hit_rate"), "{names:?}");
+    }
+
+    /// Tentpole: `--group-by` compares labeled twins per label value;
+    /// only the higher-is-worse set gates, the rest is informational.
+    #[test]
+    fn group_by_compares_labeled_twins() {
+        use medes_obs::LabelSet;
+        let export = |retries: u64| {
+            let obs = Obs::new(ObsConfig::enabled().labeled());
+            obs.counter_add("medes.net.retries", retries);
+            obs.counter_add_labeled(
+                "medes.net.retries",
+                || LabelSet::new().with("owner", 2u64),
+                retries,
+            );
+            obs.counter_add_labeled(
+                "medes.net.rdma_reads",
+                || LabelSet::new().with("src", 1u64).with("dst", 0u64),
+                10,
+            );
+            obs.export_jsonl()
+        };
+        let base = TraceExport::load("a", &export(2), None);
+        let cand = TraceExport::load("b", &export(40), None);
+        let (report, regressions) =
+            diff_by(&base, &cand, &DiffThresholds::default(), Some("owner"));
+        let names: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(names.contains(&"medes.net.retries{owner=2}"), "{names:?}");
+        let text = report.text();
+        assert!(text.contains("grouped by owner (gated counters)"), "{text}");
+        // rdma_reads has no owner label: grouping by src is informational.
+        let (report, regressions) = diff_by(&base, &cand, &DiffThresholds::default(), Some("src"));
+        assert!(
+            !regressions
+                .iter()
+                .any(|r| r.metric.starts_with("medes.net.rdma_reads")),
+            "{regressions:?}"
+        );
+        assert!(report.text().contains("grouped by src (informational)"));
+        // Label-off exports degrade gracefully.
+        let plain = TraceExport::load("p", &toy_export(1, 500, 50), None);
+        let (report, _) = diff_by(&plain, &plain, &DiffThresholds::default(), Some("node"));
+        assert!(report
+            .text()
+            .contains("no labeled series carry a node label"));
     }
 
     #[test]

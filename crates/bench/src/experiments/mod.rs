@@ -1,6 +1,7 @@
 //! One module per paper artifact (table/figure). See `DESIGN.md` for
 //! the experiment index.
 
+pub mod attribute;
 pub mod cache;
 pub mod chaos;
 pub mod fig1;
@@ -52,6 +53,7 @@ pub const ALL: &[&str] = &[
     "pipeline",
     "registry",
     "scenarios",
+    "attribute",
     "microbench",
 ];
 
@@ -81,6 +83,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "pipeline" => pipeline::run(cfg),
         "registry" => registry::run(cfg),
         "scenarios" => scenarios::run(cfg),
+        "attribute" => attribute::run(cfg),
         "microbench" => crate::microbench::run(cfg),
         _ => return None,
     };

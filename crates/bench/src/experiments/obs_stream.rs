@@ -32,7 +32,7 @@ const RING_CAP: usize = 1024;
 /// Finds the newest (highest export sequence) `trace-<tag>-<n>.jsonl`
 /// under `dir` — the platform prints the path but does not return it,
 /// and the sequence number is process-global.
-fn find_trace(dir: &Path, tag: &str) -> PathBuf {
+pub(crate) fn find_trace(dir: &Path, tag: &str) -> PathBuf {
     let prefix = format!("trace-{tag}-");
     let mut best: Option<(u64, PathBuf)> = None;
     for entry in std::fs::read_dir(dir)

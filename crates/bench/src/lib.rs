@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod attribute;
 pub mod common;
 pub mod diff;
 pub mod experiments;

@@ -45,9 +45,29 @@ pub fn looks_like_leak(s: &ParsedSeries) -> bool {
     first <= 0.0 || last >= 1.5 * first
 }
 
+/// Splits a labeled series name (`base{k=v,k=v}` — the sampler's key
+/// for dimensional twins) into its base and label pairs.
+fn split_labeled_name(name: &str) -> Option<(&str, Vec<(&str, &str)>)> {
+    let open = name.find('{')?;
+    let inner = name[open + 1..].strip_suffix('}')?;
+    let mut labels = Vec::new();
+    for pair in inner.split(',') {
+        labels.push(pair.split_once('=')?);
+    }
+    Some((&name[..open], labels))
+}
+
 /// Builds the `trace timeline` report for one `.timeseries.jsonl`
 /// export. Returns the report and the names flagged as leak suspects.
 pub fn timeline(name: &str, contents: &str) -> (Report, Vec<String>) {
+    timeline_by(name, contents, None)
+}
+
+/// [`timeline`] with an optional `--group-by <label>`: labeled twin
+/// series (sampled as `base{k=v,...}`) carrying that label are grouped
+/// per `(base metric, label value)` and summarized side by side, so a
+/// flat aggregate's trend breaks down by dimension.
+pub fn timeline_by(name: &str, contents: &str, group_by: Option<&str>) -> (Report, Vec<String>) {
     let series = parse_timeseries(contents);
     let mut report = Report::new("trace-timeline", name);
     let points: usize = series.iter().map(|s| s.points.len()).sum();
@@ -80,6 +100,49 @@ pub fn timeline(name: &str, contents: &str) -> (Report, Vec<String>) {
         ],
         &rows,
     );
+
+    if let Some(group) = group_by {
+        // One row per (base metric, label value): the series' final
+        // sample, plus its share of the base's grouped total.
+        let mut grouped: std::collections::BTreeMap<(String, String), f64> =
+            std::collections::BTreeMap::new();
+        for s in &series {
+            let Some((base, labels)) = split_labeled_name(&s.name) else {
+                continue;
+            };
+            let Some(&(_, v)) = labels.iter().find(|(k, _)| *k == group) else {
+                continue;
+            };
+            *grouped
+                .entry((base.to_string(), v.to_string()))
+                .or_default() += s.last().unwrap_or(0.0);
+        }
+        report.section(&format!("grouped by {group} (final values)"));
+        if grouped.is_empty() {
+            report.line(&format!(
+                "no series carry a {group} label (labeled run required: --obs --labels)"
+            ));
+        } else {
+            let mut totals: std::collections::BTreeMap<&str, f64> =
+                std::collections::BTreeMap::new();
+            for ((base, _), v) in &grouped {
+                *totals.entry(base.as_str()).or_default() += v;
+            }
+            let rows: Vec<Vec<String>> = grouped
+                .iter()
+                .map(|((base, v), last)| {
+                    let total = totals[base.as_str()];
+                    let share = if total > 0.0 {
+                        100.0 * last / total
+                    } else {
+                        0.0
+                    };
+                    vec![base.clone(), v.clone(), f(*last, 1), f(share, 1)]
+                })
+                .collect();
+            report.table(&["metric", group, "last", "share_%"], &rows);
+        }
+    }
 
     let leaks: Vec<String> = series
         .iter()
@@ -178,6 +241,44 @@ mod tests {
         assert!(text.contains("leak suspects"));
         assert!(text.contains("medes.leaky.gauge: 0.0 -> 9.0 over 10 samples"));
         assert_eq!(report.json()["leaks"][0], "medes.leaky.gauge");
+    }
+
+    /// Tentpole: `--group-by` breaks labeled twin series down per
+    /// label value, with shares of the grouped total per base metric.
+    #[test]
+    fn timeline_groups_labeled_series_by_label() {
+        let mut s = SeriesStore::new();
+        for i in 0..4u64 {
+            s.point("medes.x.ops", SeriesKind::Counter, i * 1000, (i * 4) as f64);
+            s.point(
+                "medes.x.ops{node=0}",
+                SeriesKind::Counter,
+                i * 1000,
+                (i * 3) as f64,
+            );
+            s.point(
+                "medes.x.ops{node=1}",
+                SeriesKind::Counter,
+                i * 1000,
+                i as f64,
+            );
+            s.point(
+                "medes.y.ops{func=a,node=0}",
+                SeriesKind::Counter,
+                i * 1000,
+                i as f64,
+            );
+        }
+        let (report, _) = timeline_by("ts", &s.export_jsonl(), Some("node"));
+        let text = report.text();
+        assert!(text.contains("grouped by node"), "{text}");
+        // node 0 carries 9 of 12 medes.x.ops: 75%.
+        assert!(text.contains("75.0"), "{text}");
+        // The multi-label series still groups by its node label.
+        assert!(text.contains("medes.y.ops"), "{text}");
+        // Grouping by an absent label degrades gracefully.
+        let (report, _) = timeline_by("ts", &s.export_jsonl(), Some("shard"));
+        assert!(report.text().contains("no series carry a shard label"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! through these helpers so checkpoint/restore timing shows up in the
 //! metrics snapshot of an obs-enabled run.
 
-use medes_obs::{Obs, TraceCtx};
+use medes_obs::{LabelSet, Obs, TraceCtx};
 use medes_sim::{SimDuration, SimTime};
 
 /// Records one sandbox checkpoint: op counter, dumped paper-scale
@@ -38,13 +38,16 @@ pub fn record_restore(obs: &Obs, took: SimDuration) {
 /// Causal variant of [`record_checkpoint`]: additionally emits a
 /// `medes.ckpt.checkpoint` span covering `[start, start + took)` as a
 /// child of `parent` (the dedup op's checkpoint phase), so the memory
-/// dump shows up inside the reconstructed trace tree.
+/// dump shows up inside the reconstructed trace tree. `node` is the
+/// node being checkpointed; with dimensional telemetry on it keys
+/// per-node labeled twins of the checkpoint counters.
 pub fn record_checkpoint_in(
     obs: &Obs,
     parent: TraceCtx,
     start: SimTime,
     paper_bytes: usize,
     took: SimDuration,
+    node: u64,
 ) {
     if !obs.enabled() {
         return;
@@ -57,13 +60,29 @@ pub fn record_checkpoint_in(
     .attr("paper_bytes", paper_bytes)
     .end(start + took);
     record_checkpoint(obs, paper_bytes, took);
+    let labels = || LabelSet::new().with("node", node);
+    obs.incr_labeled("medes.ckpt.checkpoints", labels);
+    obs.counter_add_labeled("medes.ckpt.checkpoint_bytes", labels, paper_bytes as u64);
+    obs.record_labeled(
+        "medes.ckpt.checkpoint_us",
+        labels,
+        took.as_micros(),
+        Some(parent.trace_id),
+    );
 }
 
 /// Causal variant of [`record_restore`]: additionally emits a
 /// `medes.ckpt.restore` span covering `[start, start + took)` as a
 /// child of `parent` (the restore op's checkpoint phase), so the CRIU
-/// resume shows up inside the reconstructed trace tree.
-pub fn record_restore_in(obs: &Obs, parent: TraceCtx, start: SimTime, took: SimDuration) {
+/// resume shows up inside the reconstructed trace tree. `node` is the
+/// restoring node (see [`record_checkpoint_in`]).
+pub fn record_restore_in(
+    obs: &Obs,
+    parent: TraceCtx,
+    start: SimTime,
+    took: SimDuration,
+    node: u64,
+) {
     if !obs.enabled() {
         return;
     }
@@ -74,6 +93,14 @@ pub fn record_restore_in(obs: &Obs, parent: TraceCtx, start: SimTime, took: SimD
     )
     .end(start + took);
     record_restore(obs, took);
+    let labels = || LabelSet::new().with("node", node);
+    obs.incr_labeled("medes.ckpt.restores", labels);
+    obs.record_labeled(
+        "medes.ckpt.restore_us",
+        labels,
+        took.as_micros(),
+        Some(parent.trace_id),
+    );
 }
 
 #[cfg(test)]
@@ -108,9 +135,35 @@ mod tests {
             TraceCtx::NONE,
             medes_sim::SimTime::ZERO,
             SimDuration::from_millis(140),
+            0,
         );
         assert!(obs.metrics_snapshot().is_empty());
         assert_eq!(obs.span_count(), 0);
+    }
+
+    /// Tentpole: the causal variants keep flat counters as the exact
+    /// aggregate while adding per-node labeled twins (only when
+    /// dimensional telemetry is on).
+    #[test]
+    fn causal_variants_label_per_node_when_enabled() {
+        let obs = Obs::new(ObsConfig::enabled().labeled());
+        let root = obs.trace_root("dedup", 1, 2);
+        let start = medes_sim::SimTime::from_micros(50);
+        record_checkpoint_in(&obs, root, start, 4096, SimDuration::from_millis(120), 3);
+        record_restore_in(&obs, root, start, SimDuration::from_millis(140), 3);
+        let node3 = LabelSet::new().with("node", 3u64);
+        assert_eq!(obs.labeled_counter("medes.ckpt.checkpoints", &node3), 1);
+        assert_eq!(
+            obs.labeled_counter("medes.ckpt.checkpoint_bytes", &node3),
+            4096
+        );
+        assert_eq!(obs.labeled_counter("medes.ckpt.restores", &node3), 1);
+        assert_eq!(obs.counter("medes.ckpt.checkpoints"), 1);
+        // Labels off: same calls leave the labeled map empty.
+        let off = Obs::new(ObsConfig::enabled());
+        record_checkpoint_in(&off, root, start, 4096, SimDuration::from_millis(120), 3);
+        assert_eq!(off.labeled_len(), 0);
+        assert_eq!(off.counter("medes.ckpt.checkpoints"), 1);
     }
 
     #[test]
@@ -118,8 +171,8 @@ mod tests {
         let obs = Obs::new(ObsConfig::enabled());
         let root = obs.trace_root("dedup", 1, 2);
         let start = medes_sim::SimTime::from_micros(50);
-        record_checkpoint_in(&obs, root, start, 4096, SimDuration::from_millis(120));
-        record_restore_in(&obs, root, start, SimDuration::from_millis(140));
+        record_checkpoint_in(&obs, root, start, 4096, SimDuration::from_millis(120), 2);
+        record_restore_in(&obs, root, start, SimDuration::from_millis(140), 2);
         let spans = obs.spans();
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].name, "medes.ckpt.checkpoint");

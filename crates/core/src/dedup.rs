@@ -21,7 +21,7 @@ use medes_delta::{encode_with, EncodeConfig, EncodeScratch};
 use medes_hash::sample::pages_fingerprints;
 use medes_mem::{MemoryImage, PAGE_SIZE};
 use medes_net::{Fabric, NetError};
-use medes_obs::{Obs, TraceCtx};
+use medes_obs::{LabelSet, Obs, TraceCtx};
 use medes_sim::{SimDuration, SimTime};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -62,6 +62,10 @@ impl DedupTiming {
     /// `parent` is the causal context of the enclosing operation (a
     /// dedup trace root, or the batch span's context on the pipelined
     /// path); [`TraceCtx::NONE`] records a flat, untraced breakdown.
+    ///
+    /// `node` is the node being checkpointed — with dimensional
+    /// telemetry on, the dedup counters/histograms gain per-node
+    /// labeled twins.
     pub fn record(
         &self,
         obs: &Obs,
@@ -69,6 +73,7 @@ impl DedupTiming {
         fn_name: &str,
         ckpt_paper_bytes: usize,
         parent: TraceCtx,
+        node: usize,
     ) {
         if !obs.enabled() {
             return;
@@ -99,7 +104,22 @@ impl DedupTiming {
         obs.record_us("medes.dedup.base_read_us", self.base_read);
         obs.record_us("medes.dedup.patch_us", self.patch_compute);
         obs.record_us("medes.dedup.op_us", self.total());
-        medes_ckpt::obs::record_checkpoint_in(obs, ckpt, start, ckpt_paper_bytes, self.checkpoint);
+        let labels = || LabelSet::new().with("node", node);
+        obs.incr_labeled("medes.dedup.ops", labels);
+        obs.record_labeled(
+            "medes.dedup.op_us",
+            labels,
+            self.total().as_micros(),
+            Some(op.trace_id),
+        );
+        medes_ckpt::obs::record_checkpoint_in(
+            obs,
+            ckpt,
+            start,
+            ckpt_paper_bytes,
+            self.checkpoint,
+            node as u64,
+        );
     }
 }
 

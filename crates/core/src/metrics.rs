@@ -5,7 +5,7 @@
 //! plus latency histograms, so an obs-enabled run yields a JSONL trace
 //! whose aggregates match the [`RunReport`] exactly.
 
-use medes_obs::{Obs, TraceCtx};
+use medes_obs::{LabelSet, Obs, TraceCtx};
 use medes_sim::stats::Percentiles;
 use medes_sim::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -300,7 +300,10 @@ impl MetricsCollector {
     /// latency is checked against it in the per-function
     /// [`medes_obs::SloTracker`]. SLO samples are never head-sampled
     /// away: quantiles stay exact even when span sampling is on.
-    pub fn push_request(&mut self, rec: RequestRecord, ctx: TraceCtx, bound_us: u64) {
+    /// `node` is the node the request ran on; with dimensional
+    /// telemetry on it keys the per-node labeled series and tags SLO
+    /// violations for drill-down.
+    pub fn push_request(&mut self, rec: RequestRecord, ctx: TraceCtx, bound_us: u64, node: usize) {
         if self.obs.enabled() {
             let start_type = match rec.start {
                 StartType::Warm => "warm",
@@ -314,7 +317,18 @@ impl MetricsCollector {
                 .map(|s| s.as_str())
                 .unwrap_or("?")
                 .to_string();
-            self.obs.slo_record(&fn_name, rec.startup_us, bound_us);
+            self.obs.slo_record_traced(
+                &fn_name,
+                rec.startup_us,
+                bound_us,
+                ctx.trace_id,
+                node as u64,
+            );
+            let labels = || {
+                LabelSet::new()
+                    .with("node", node)
+                    .with("func", fn_name.clone())
+            };
             self.obs
                 .span_in(
                     "medes.platform.request",
@@ -322,18 +336,34 @@ impl MetricsCollector {
                     ctx,
                 )
                 .attr("id", rec.id)
-                .attr("fn", fn_name)
+                .attr("fn", fn_name.clone())
                 .attr("start_type", start_type)
                 .attr("startup_us", rec.startup_us)
                 .attr("exec_us", rec.exec_us)
                 .end(SimTime::from_micros(rec.arrival_us + rec.e2e_us));
-            self.obs.incr(match rec.start {
+            let start_counter = match rec.start {
                 StartType::Warm => "medes.platform.starts.warm",
                 StartType::Dedup => "medes.platform.starts.dedup",
                 StartType::Cold => "medes.platform.starts.cold",
-            });
-            self.obs.record("medes.platform.e2e_us", rec.e2e_us);
-            self.obs.record("medes.platform.startup_us", rec.startup_us);
+            };
+            self.obs.incr(start_counter);
+            self.obs.incr_labeled(start_counter, labels);
+            self.obs
+                .record_traced("medes.platform.e2e_us", rec.e2e_us, ctx.trace_id);
+            self.obs.record_labeled(
+                "medes.platform.e2e_us",
+                labels,
+                rec.e2e_us,
+                Some(ctx.trace_id),
+            );
+            self.obs
+                .record_traced("medes.platform.startup_us", rec.startup_us, ctx.trace_id);
+            self.obs.record_labeled(
+                "medes.platform.startup_us",
+                labels,
+                rec.startup_us,
+                Some(ctx.trace_id),
+            );
             self.obs
                 .gauge_set("medes.slo.violations", self.obs.slo_violations() as f64);
         }

@@ -15,7 +15,7 @@
 //! bit-deterministic across runs.
 
 use crate::ids::SandboxId;
-use medes_obs::Obs;
+use medes_obs::{LabelSet, Obs};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -54,6 +54,9 @@ pub struct BasePageCache {
     used_paper_bytes: usize,
     stats: CacheStats,
     obs: Arc<Obs>,
+    /// Hosting node, used as the `node` label on dimensional twins of
+    /// the `medes.restore.cache.*` counters.
+    node: u64,
 }
 
 impl BasePageCache {
@@ -61,12 +64,19 @@ impl BasePageCache {
     /// is charged `PAGE_SIZE * mem_scale` paper bytes. A capacity of
     /// zero (or smaller than one page) never stores anything.
     pub fn new(capacity_paper_bytes: usize, mem_scale: usize) -> Self {
-        Self::with_obs(capacity_paper_bytes, mem_scale, Obs::disabled())
+        Self::with_obs(capacity_paper_bytes, mem_scale, Obs::disabled(), 0)
     }
 
     /// Like [`BasePageCache::new`] but mirroring hit/miss/eviction
     /// counters and the bytes-saved gauge into `medes.restore.cache.*`.
-    pub fn with_obs(capacity_paper_bytes: usize, mem_scale: usize, obs: Arc<Obs>) -> Self {
+    /// `node` is the hosting node: with dimensional telemetry on, hit
+    /// and miss counters also get per-node labeled twins.
+    pub fn with_obs(
+        capacity_paper_bytes: usize,
+        mem_scale: usize,
+        obs: Arc<Obs>,
+        node: u64,
+    ) -> Self {
         BasePageCache {
             capacity_paper_bytes,
             page_paper_bytes: medes_mem::PAGE_SIZE * mem_scale.max(1),
@@ -76,6 +86,7 @@ impl BasePageCache {
             used_paper_bytes: 0,
             stats: CacheStats::default(),
             obs,
+            node,
         }
     }
 
@@ -129,6 +140,10 @@ impl BasePageCache {
                         "medes.restore.cache.bytes_saved",
                         self.stats.bytes_saved as f64,
                     );
+                    let node = self.node;
+                    self.obs.incr_labeled("medes.restore.cache.hits", || {
+                        LabelSet::new().with("node", node)
+                    });
                 }
                 Some(entry.bytes.clone())
             }
@@ -136,6 +151,10 @@ impl BasePageCache {
                 self.stats.misses += 1;
                 if self.obs.enabled() {
                     self.obs.incr("medes.restore.cache.misses");
+                    let node = self.node;
+                    self.obs.incr_labeled("medes.restore.cache.misses", || {
+                        LabelSet::new().with("node", node)
+                    });
                 }
                 None
             }

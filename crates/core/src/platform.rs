@@ -298,11 +298,12 @@ impl Cluster {
             sandboxes: HashMap::new(),
             bases: HashMap::new(),
             caches: (0..cfg.nodes)
-                .map(|_| {
+                .map(|n| {
                     BasePageCache::with_obs(
                         cfg.read_path.page_cache_bytes,
                         cfg.mem_scale,
                         Arc::clone(&obs),
+                        n as u64,
                     )
                 })
                 .collect(),
@@ -854,9 +855,13 @@ impl Cluster {
                 }
                 match restored {
                     Ok(outcome) => {
-                        outcome
-                            .timing
-                            .record(&self.obs, now, &self.fns[f].profile.name, root);
+                        outcome.timing.record(
+                            &self.obs,
+                            now,
+                            &self.fns[f].profile.name,
+                            root,
+                            node.0,
+                        );
                         if self.cfg.read_path.active() && self.obs.enabled() {
                             // The cache span covers the base-read phase
                             // it accelerates, and sits under it in the
@@ -1121,6 +1126,7 @@ impl Cluster {
             &self.fns[f].profile.name,
             self.cfg.to_paper_bytes(image.total_bytes()),
             droot,
+            node.0,
         );
         // Pin the referenced bases *now*: the dedup table already points
         // into them, and they must survive until DedupDone commits (or
@@ -1259,6 +1265,7 @@ impl Cluster {
                         &self.fns[f].profile.name,
                         self.cfg.to_paper_bytes(item.image.total_bytes()),
                         droot,
+                        item.node.0,
                     );
                     // Pin the referenced bases *now*: the dedup table
                     // already points into them, and they must survive
@@ -1584,7 +1591,8 @@ impl World for Cluster {
                 // span becomes the root of that tree.
                 let root = self.obs.trace_root("request", self.cfg.seed, rec.id);
                 let bound_us = self.slo_bound_us(rec.func);
-                self.metrics.push_request(rec, root, bound_us);
+                let served_on = self.sandboxes[&id].node;
+                self.metrics.push_request(rec, root, bound_us, served_on.0);
                 let sb = self.sandboxes.get_mut(&id).expect("running sandbox exists");
                 sb.transition(SandboxState::Warm);
                 sb.last_used = now;

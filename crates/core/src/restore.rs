@@ -17,7 +17,7 @@ use crate::sandbox::{DedupPageTable, PageEntry};
 use medes_delta::apply_into;
 use medes_mem::{MemoryImage, PAGE_SIZE};
 use medes_net::{Fabric, NetError};
-use medes_obs::{Obs, TraceCtx};
+use medes_obs::{LabelSet, Obs, TraceCtx};
 use medes_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -66,7 +66,12 @@ impl RestoreTiming {
     /// (the platform attaches the cache span and any fabric retry
     /// spans under `base_read`), and the phase spans tile the op span
     /// exactly, so per-node self-times sum to the op duration.
-    pub fn record(&self, obs: &Obs, start: SimTime, fn_name: &str, parent: TraceCtx) {
+    ///
+    /// `node` is the node performing the restore — with dimensional
+    /// telemetry on, every restore counter/histogram gains a per-node
+    /// labeled twin and the op histogram retains the trace id as a
+    /// bucket exemplar.
+    pub fn record(&self, obs: &Obs, start: SimTime, fn_name: &str, parent: TraceCtx, node: usize) {
         if !obs.enabled() {
             return;
         }
@@ -92,7 +97,21 @@ impl RestoreTiming {
         obs.record_us("medes.restore.page_compute_us", self.page_compute);
         obs.record_us("medes.restore.ckpt_us", self.ckpt_restore);
         obs.record_us("medes.restore.op_us", self.total());
-        medes_ckpt::obs::record_restore_in(obs, ckpt, t2, self.ckpt_restore);
+        let labels = || LabelSet::new().with("node", node);
+        obs.incr_labeled("medes.restore.ops", labels);
+        obs.record_labeled(
+            "medes.restore.op_us",
+            labels,
+            self.total().as_micros(),
+            Some(op.trace_id),
+        );
+        obs.record_labeled(
+            "medes.restore.base_read_us",
+            labels,
+            self.base_read.as_micros(),
+            Some(op.trace_id),
+        );
+        medes_ckpt::obs::record_restore_in(obs, ckpt, t2, self.ckpt_restore, node as u64);
     }
 }
 

@@ -55,9 +55,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use medes_obs::{Obs, TraceCtx};
+use medes_obs::{LabelSet, Obs, TraceCtx};
 use medes_sim::fault::FaultSchedule;
 use medes_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Node identifier within the fabric.
@@ -409,6 +410,12 @@ impl Fabric {
             self.obs.incr("medes.net.rdma_reads");
             self.obs.counter_add("medes.net.rdma_bytes", bytes as u64);
             self.obs.record_us("medes.net.rdma_read_us", t);
+            // Per-link twins: one series per (src, dst) pair, so the
+            // drill-down can pin a slow link instead of a slow cluster.
+            let labels = || LabelSet::new().with("src", src).with("dst", dst);
+            self.obs.incr_labeled("medes.net.rdma_reads", labels);
+            self.obs
+                .counter_add_labeled("medes.net.rdma_bytes", labels, bytes as u64);
         }
         Ok(t)
     }
@@ -483,6 +490,24 @@ impl Fabric {
             self.obs
                 .counter_add("medes.net.rdma_bytes", (local_bytes + remote_bytes) as u64);
             self.obs.record_us("medes.net.rdma_batch_us", t);
+            if self.obs.labels_enabled() {
+                // Group the batch per source so each (src, dst) link
+                // series counts exactly the reads it carried; the sums
+                // across sources equal the flat counters above.
+                let mut per_src: BTreeMap<NodeIdx, (u64, u64)> = BTreeMap::new();
+                for &(src, bytes) in reads {
+                    let e = per_src.entry(src).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += bytes as u64;
+                }
+                for (src, (ops, bytes)) in per_src {
+                    let labels = || LabelSet::new().with("src", src).with("dst", dst);
+                    self.obs
+                        .counter_add_labeled("medes.net.rdma_reads", labels, ops);
+                    self.obs
+                        .counter_add_labeled("medes.net.rdma_bytes", labels, bytes);
+                }
+            }
         }
         Ok(t)
     }
@@ -593,6 +618,13 @@ impl Fabric {
             self.obs
                 .counter_add("medes.net.rpc_bytes", (req_bytes + resp_bytes) as u64);
             self.obs.record_us("medes.net.rpc_us", t);
+            let labels = || LabelSet::new().with("src", a).with("dst", b);
+            self.obs.incr_labeled("medes.net.rpcs", labels);
+            self.obs.counter_add_labeled(
+                "medes.net.rpc_bytes",
+                labels,
+                (req_bytes + resp_bytes) as u64,
+            );
         }
         Ok(t)
     }
@@ -714,6 +746,15 @@ impl Fabric {
             self.obs.incr("medes.net.registry.rpcs");
             self.obs.counter_add(
                 "medes.net.registry.rpc_bytes",
+                (req_bytes + resp_bytes) as u64,
+            );
+            // Registry traffic keyed by the shard owner serving the op,
+            // so hot shards surface as their own series.
+            let labels = || LabelSet::new().with("owner", b);
+            self.obs.incr_labeled("medes.net.registry.rpcs", labels);
+            self.obs.counter_add_labeled(
+                "medes.net.registry.rpc_bytes",
+                labels,
                 (req_bytes + resp_bytes) as u64,
             );
         }
@@ -884,6 +925,53 @@ mod tests {
         let mut quiet = Fabric::new(4, NetConfig::default());
         quiet.rdma_read(0, 1, 4096).unwrap();
         assert_eq!(quiet.stats().rdma_reads, 1);
+    }
+
+    /// Tentpole: with dimensional telemetry on, per-link twins are kept
+    /// per `(src, dst)` pair (per `owner` for registry traffic) and the
+    /// flat counters stay the exact sum of the labeled series.
+    #[test]
+    fn labeled_twins_sum_to_flat_counters() {
+        let obs = Obs::new(medes_obs::ObsConfig::enabled().labeled());
+        let mut f = Fabric::with_obs(4, NetConfig::default(), Arc::clone(&obs));
+        f.rdma_read(0, 1, 4096).unwrap();
+        f.rdma_read_batch(0, &[(1, 100), (1, 50), (2, 200)])
+            .unwrap();
+        f.rpc(0, 1, 10, 20).unwrap();
+        f.registry_rpc_retry(0, 2, RegistryOp::Lookup, 64, 32, &RetryPolicy::default())
+            .unwrap();
+        let link = |src: usize, dst: usize| LabelSet::new().with("src", src).with("dst", dst);
+        assert_eq!(obs.labeled_counter("medes.net.rdma_reads", &link(1, 0)), 3);
+        assert_eq!(obs.labeled_counter("medes.net.rdma_reads", &link(2, 0)), 1);
+        assert_eq!(
+            obs.labeled_counter("medes.net.rdma_bytes", &link(1, 0)),
+            4246
+        );
+        assert_eq!(
+            obs.labeled_counter("medes.net.rdma_bytes", &link(2, 0)),
+            200
+        );
+        // The registry RPC goes through rpc_at too, so rpcs has two
+        // labeled series; their sum matches the flat counter.
+        assert_eq!(obs.counter("medes.net.rpcs"), 2);
+        assert_eq!(obs.labeled_counter("medes.net.rpcs", &link(0, 1)), 1);
+        assert_eq!(obs.labeled_counter("medes.net.rpcs", &link(0, 2)), 1);
+        let owner = LabelSet::new().with("owner", 2usize);
+        assert_eq!(obs.labeled_counter("medes.net.registry.rpcs", &owner), 1);
+        assert_eq!(
+            obs.labeled_counter("medes.net.registry.rpc_bytes", &owner),
+            96
+        );
+        // Flat aggregates are exactly the sums across their series.
+        assert_eq!(obs.counter("medes.net.rdma_reads"), 4);
+        assert_eq!(obs.counter("medes.net.rdma_bytes"), 4446);
+        // Labels off: same traffic, empty labeled map.
+        let off = Obs::new(medes_obs::ObsConfig::enabled());
+        let mut g = Fabric::with_obs(4, NetConfig::default(), Arc::clone(&off));
+        g.rdma_read(0, 1, 4096).unwrap();
+        g.rpc(0, 1, 10, 20).unwrap();
+        assert_eq!(off.labeled_len(), 0);
+        assert_eq!(off.counter("medes.net.rdma_reads"), 1);
     }
 
     // ------------------------------------------------------------------

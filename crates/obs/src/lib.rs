@@ -21,10 +21,13 @@ pub mod span;
 
 pub use ids::TraceCtx;
 pub use json::{Json, JsonMap, ParseError};
-pub use metrics::{LogLinearHistogram, Metric, MetricsRegistry};
+pub use metrics::{
+    LabelSet, LogLinearHistogram, Metric, MetricsRegistry, SmallValue, MAX_LABELS,
+    TYPE_MISMATCH_METRIC,
+};
 pub use series::{parse_timeseries, MetricSeries, ParsedSeries, SeriesKind, SeriesStore};
 pub use sink::SpanSink;
-pub use slo::{FnSloSummary, SloTracker};
+pub use slo::{FnSloSummary, SloTracker, SloViolator, TOP_VIOLATORS};
 pub use span::{AttrValue, ParsedSpan, Span, SpanRecord, Tracer};
 
 use medes_sim::{SimDuration, SimTime};
@@ -72,6 +75,14 @@ pub struct ObsConfig {
     /// per-metric series exported as `.timeseries.jsonl` next to the
     /// trace.
     pub sample_every_ms: u64,
+    /// Dimensional telemetry switch. When true, labeled call sites
+    /// additionally update their `(name, LabelSet)` series, traced
+    /// histogram samples retain per-bucket exemplar trace ids, and the
+    /// SLO tracker keeps its worst violating requests. Off by default:
+    /// every labeled/traced call then degrades to its flat equivalent
+    /// (or a no-op), so all exports are byte-identical to a build that
+    /// never heard of labels.
+    pub labels: bool,
 }
 
 impl Default for ObsConfig {
@@ -84,6 +95,7 @@ impl Default for ObsConfig {
             run_tag: "run".to_string(),
             stream: false,
             sample_every_ms: 0,
+            labels: false,
         }
     }
 }
@@ -132,7 +144,83 @@ impl ObsConfig {
         self.sample_every_ms = ms;
         self
     }
+
+    /// Turns on dimensional telemetry (builder style; see
+    /// [`ObsConfig::labels`]).
+    pub fn labeled(mut self) -> Self {
+        self.labels = true;
+        self
+    }
 }
+
+/// Escapes a Prometheus label value: `\` → `\\`, `"` → `\"`, and
+/// newline → `\n` (the exposition format is line-oriented — an
+/// unescaped newline in a label value corrupts every line after it).
+pub fn escape_prom_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Inverse of [`escape_prom_label`]. Unknown escapes pass through
+/// verbatim so a foreign exposition never panics the parser.
+pub fn unescape_prom_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Static `# HELP` strings for the standard metric names, registered
+/// on every enabled handle. Names outside this table simply export
+/// without a HELP line.
+const STANDARD_HELP: &[(&str, &str)] = &[
+    ("medes.platform.e2e_us", "end-to-end request latency"),
+    ("medes.platform.startup_us", "sandbox startup latency"),
+    (
+        "medes.platform.starts.warm",
+        "requests served from a warm sandbox",
+    ),
+    (
+        "medes.platform.starts.dedup",
+        "requests restored from a dedup checkpoint",
+    ),
+    ("medes.platform.starts.cold", "requests cold-started"),
+    ("medes.restore.ops", "dedup restore operations"),
+    ("medes.restore.op_us", "dedup restore end-to-end time"),
+    ("medes.restore.cache.hits", "base page cache hits"),
+    ("medes.restore.cache.misses", "base page cache misses"),
+    ("medes.dedup.ops", "dedup checkpoint operations"),
+    ("medes.net.rdma_reads", "RDMA read operations"),
+    ("medes.net.rdma_bytes", "bytes moved by RDMA reads"),
+    ("medes.net.rpcs", "RPC round trips"),
+    ("medes.net.registry.rpcs", "registry RPC round trips"),
+    ("medes.ckpt.checkpoints", "checkpoints written"),
+    ("medes.slo.violations", "SLO violations observed so far"),
+    (
+        "medes.obs.spans_live",
+        "spans currently buffered in the ring",
+    ),
+    (
+        TYPE_MISMATCH_METRIC,
+        "telemetry writes dropped due to metric type collisions",
+    ),
+];
 
 /// Distinguishes trace files exported by successive runs within one
 /// process (simulated time restarts at zero each run, so wall-clock or
@@ -183,10 +271,16 @@ impl Obs {
         } else {
             None
         };
+        let mut registry = MetricsRegistry::new();
+        if cfg.enabled {
+            for &(name, help) in STANDARD_HELP {
+                registry.describe(name, help);
+            }
+        }
         Arc::new(Obs {
             enabled: cfg.enabled,
             tracer: Mutex::new(Tracer::new(cap)),
-            metrics: Mutex::new(MetricsRegistry::new()),
+            metrics: Mutex::new(registry),
             slo: Mutex::new(SloTracker::new()),
             sink: Mutex::new(sink),
             streamed: AtomicU64::new(0),
@@ -317,6 +411,120 @@ impl Obs {
         self.record(name, d.as_micros());
     }
 
+    /// Whether dimensional (labeled) telemetry is live
+    /// ([`ObsConfig::labels`] on an enabled handle).
+    #[inline]
+    pub fn labels_enabled(&self) -> bool {
+        self.enabled && self.cfg.labels
+    }
+
+    /// Adds to the labeled counter `(name, labels)`. No-op unless
+    /// labels are enabled; never touches the flat counter of the same
+    /// name — pair it 1:1 with [`Obs::counter_add`] at the call site
+    /// so the flat series stays the exact aggregate of its labeled
+    /// children. `labels` is a closure so the label-off path never
+    /// builds the set.
+    #[inline]
+    pub fn counter_add_labeled(
+        &self,
+        name: &'static str,
+        labels: impl FnOnce() -> LabelSet,
+        delta: u64,
+    ) {
+        if self.labels_enabled() {
+            self.metrics
+                .lock()
+                .unwrap()
+                .counter_add_labeled(name, labels(), delta);
+        }
+    }
+
+    /// Increments the labeled counter `(name, labels)` by one.
+    #[inline]
+    pub fn incr_labeled(&self, name: &'static str, labels: impl FnOnce() -> LabelSet) {
+        self.counter_add_labeled(name, labels, 1);
+    }
+
+    /// Sets the labeled gauge `(name, labels)` (no-op unless labels
+    /// are enabled).
+    #[inline]
+    pub fn gauge_set_labeled(
+        &self,
+        name: &'static str,
+        labels: impl FnOnce() -> LabelSet,
+        value: f64,
+    ) {
+        if self.labels_enabled() {
+            self.metrics
+                .lock()
+                .unwrap()
+                .gauge_set_labeled(name, labels(), value);
+        }
+    }
+
+    /// Records a sample into the labeled histogram `(name, labels)`,
+    /// optionally retaining `trace_id` as a bucket exemplar (no-op
+    /// unless labels are enabled).
+    #[inline]
+    pub fn record_labeled(
+        &self,
+        name: &'static str,
+        labels: impl FnOnce() -> LabelSet,
+        sample: u64,
+        trace_id: Option<u64>,
+    ) {
+        if self.labels_enabled() {
+            self.metrics
+                .lock()
+                .unwrap()
+                .record_labeled(name, labels(), sample, trace_id);
+        }
+    }
+
+    /// Records a flat histogram sample, retaining `trace_id` as the
+    /// bucket's max-sample exemplar when labels are enabled. With
+    /// labels off this is exactly [`Obs::record`], so call sites can
+    /// upgrade unconditionally without changing default-off state.
+    #[inline]
+    pub fn record_traced(&self, name: &'static str, sample: u64, trace_id: u64) {
+        if self.labels_enabled() {
+            self.metrics
+                .lock()
+                .unwrap()
+                .record_traced(name, sample, trace_id);
+        } else {
+            self.record(name, sample);
+        }
+    }
+
+    /// Registers a static `# HELP` string for `name` (see
+    /// [`MetricsRegistry::describe`]).
+    pub fn describe(&self, name: &'static str, help: &'static str) {
+        if self.enabled {
+            self.metrics.lock().unwrap().describe(name, help);
+        }
+    }
+
+    /// Snapshot of all labeled series, name-then-label sorted.
+    pub fn labeled_snapshot(&self) -> Vec<(&'static str, LabelSet, Metric)> {
+        self.metrics.lock().unwrap().labeled_snapshot()
+    }
+
+    /// Current labeled counter value (0 if absent).
+    pub fn labeled_counter(&self, name: &str, labels: &LabelSet) -> u64 {
+        self.metrics.lock().unwrap().labeled_counter(name, labels)
+    }
+
+    /// Number of labeled series.
+    pub fn labeled_len(&self) -> usize {
+        self.metrics.lock().unwrap().labeled_len()
+    }
+
+    /// Telemetry writes dropped due to metric type collisions.
+    pub fn type_mismatches(&self) -> u64 {
+        self.metrics.lock().unwrap().type_mismatches()
+    }
+
     /// Number of spans currently buffered.
     pub fn span_count(&self) -> usize {
         self.tracer.lock().unwrap().len()
@@ -407,6 +615,42 @@ impl Obs {
         }
     }
 
+    /// Like [`Obs::slo_record`], but tags the sample with its
+    /// deterministic trace id and node when labels are enabled, so a
+    /// violation can be drilled back to the exact request. With labels
+    /// off this is exactly [`Obs::slo_record`], so call sites can
+    /// upgrade unconditionally.
+    #[inline]
+    pub fn slo_record_traced(
+        &self,
+        func: &str,
+        latency_us: u64,
+        bound_us: u64,
+        trace_id: u64,
+        node: u64,
+    ) {
+        if self.labels_enabled() {
+            self.slo
+                .lock()
+                .unwrap()
+                .record_traced(func, latency_us, bound_us, trace_id, node);
+        } else {
+            self.slo_record(func, latency_us, bound_us);
+        }
+    }
+
+    /// All retained SLO violators, name-sorted by function (empty
+    /// unless labels are enabled; see [`SloTracker::all_violators`]).
+    pub fn slo_violators(&self) -> Vec<(String, Vec<SloViolator>)> {
+        self.slo
+            .lock()
+            .unwrap()
+            .all_violators()
+            .into_iter()
+            .map(|(f, v)| (f.to_string(), v.to_vec()))
+            .collect()
+    }
+
     /// Name-sorted per-function SLO summaries.
     pub fn slo_summary(&self) -> Vec<FnSloSummary> {
         self.slo.lock().unwrap().summary()
@@ -448,10 +692,19 @@ impl Obs {
     /// compares two of them without side files). Streamed and buffered
     /// exports build the tail identically.
     fn export_tail(&self) -> String {
-        let metrics = self.metrics.lock().unwrap().to_json();
+        let (metrics, labeled) = {
+            let m = self.metrics.lock().unwrap();
+            let labeled = (m.labeled_len() > 0).then(|| m.labeled_to_json());
+            (m.to_json(), labeled)
+        };
         let slo = self.slo.lock().unwrap().to_json();
         let mut tail = JsonMap::new();
         tail.insert("metrics", metrics);
+        // Only labeled runs carry the key: label-off tails stay
+        // byte-identical to every pre-label build.
+        if let Some(l) = labeled {
+            tail.insert("labeled", l);
+        }
         tail.insert("slo", slo);
         let mut out = Json::Object(tail).to_string();
         out.push('\n');
@@ -492,18 +745,75 @@ impl Obs {
                 })
                 .collect()
         }
-        fn escape_label(v: &str) -> String {
-            v.replace('\\', "\\\\").replace('"', "\\\"")
+        fn prom_labels(labels: &LabelSet) -> String {
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            for (i, (k, v)) in labels.pairs().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{}=\"{}\"",
+                    sanitize(k),
+                    escape_prom_label(&v.to_string())
+                );
+            }
+            out
         }
+        fn write_exemplars(out: &mut String, n: &str, labels: &str, h: &LogLinearHistogram) {
+            use std::fmt::Write as _;
+            // `#`-comment lines: invisible to a standard scraper,
+            // parsed by `trace attribute` for drill-down.
+            for (idx, v, id) in h.exemplars() {
+                let series = if labels.is_empty() {
+                    n.to_string()
+                } else {
+                    format!("{n}{{{labels}}}")
+                };
+                let _ = writeln!(
+                    out,
+                    "# exemplar {series} bucket={idx} value={v} trace_id={id:016x}"
+                );
+            }
+        }
+        let (snapshot, labeled, help): (
+            _,
+            _,
+            std::collections::HashMap<&'static str, &'static str>,
+        ) = {
+            let reg = self.metrics.lock().unwrap();
+            let snapshot = reg.snapshot();
+            let help = snapshot
+                .iter()
+                .filter_map(|(n, _)| reg.help(n).map(|h| (*n, h)))
+                .collect();
+            (snapshot, reg.labeled_snapshot(), help)
+        };
         let mut out = String::new();
-        for (name, metric) in self.metrics_snapshot() {
+        for (name, metric) in &snapshot {
             let n = sanitize(name);
+            if let Some(h) = help.get(name) {
+                let _ = writeln!(out, "# HELP {n} {h}");
+            }
+            // This metric's labeled children, already label-sorted.
+            let children: Vec<_> = labeled.iter().filter(|(ln, _, _)| ln == name).collect();
             match metric {
                 Metric::Counter(v) => {
                     let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+                    for (_, ls, m) in &children {
+                        if let Metric::Counter(lv) = m {
+                            let _ = writeln!(out, "{n}{{{}}} {lv}", prom_labels(ls));
+                        }
+                    }
                 }
                 Metric::Gauge(v) => {
                     let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+                    for (_, ls, m) in &children {
+                        if let Metric::Gauge(lv) = m {
+                            let _ = writeln!(out, "{n}{{{}}} {lv}", prom_labels(ls));
+                        }
+                    }
                 }
                 Metric::Hist(h) => {
                     let _ = writeln!(out, "# TYPE {n} summary");
@@ -513,24 +823,90 @@ impl Obs {
                     }
                     let _ = writeln!(out, "{n}_sum {}", h.sum());
                     let _ = writeln!(out, "{n}_count {}", h.count());
+                    write_exemplars(&mut out, &n, "", h);
+                    for (_, ls, m) in &children {
+                        if let Metric::Hist(lh) = m {
+                            let lbl = prom_labels(ls);
+                            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                                let v = lh.quantile(q).unwrap_or(0.0);
+                                let _ = writeln!(out, "{n}{{{lbl},quantile=\"{label}\"}} {v}");
+                            }
+                            let _ = writeln!(out, "{n}_sum{{{lbl}}} {}", lh.sum());
+                            let _ = writeln!(out, "{n}_count{{{lbl}}} {}", lh.count());
+                            write_exemplars(&mut out, &n, &lbl, lh);
+                        }
+                    }
                 }
             }
         }
-        let slo = self.slo_summary();
+        // Labeled series whose flat aggregate was never written still
+        // export (under their own TYPE header) rather than vanishing.
+        {
+            let mut last = "";
+            for (name, ls, m) in &labeled {
+                if snapshot.iter().any(|(n, _)| n == name) {
+                    continue;
+                }
+                let n = sanitize(name);
+                let lbl = prom_labels(ls);
+                match m {
+                    Metric::Counter(v) => {
+                        if *name != last {
+                            let _ = writeln!(out, "# TYPE {n} counter");
+                        }
+                        let _ = writeln!(out, "{n}{{{lbl}}} {v}");
+                    }
+                    Metric::Gauge(v) => {
+                        if *name != last {
+                            let _ = writeln!(out, "# TYPE {n} gauge");
+                        }
+                        let _ = writeln!(out, "{n}{{{lbl}}} {v}");
+                    }
+                    Metric::Hist(h) => {
+                        if *name != last {
+                            let _ = writeln!(out, "# TYPE {n} summary");
+                        }
+                        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                            let v = h.quantile(q).unwrap_or(0.0);
+                            let _ = writeln!(out, "{n}{{{lbl},quantile=\"{label}\"}} {v}");
+                        }
+                        let _ = writeln!(out, "{n}_sum{{{lbl}}} {}", h.sum());
+                        let _ = writeln!(out, "{n}_count{{{lbl}}} {}", h.count());
+                        write_exemplars(&mut out, &n, &lbl, h);
+                    }
+                }
+                last = *name;
+            }
+        }
+        let (slo, violators) = {
+            let t = self.slo.lock().unwrap();
+            let violators: Vec<(String, Vec<SloViolator>)> = t
+                .all_violators()
+                .into_iter()
+                .map(|(f, v)| (f.to_string(), v.to_vec()))
+                .collect();
+            (t.summary(), violators)
+        };
         if !slo.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP medes_slo_startup_us per-function startup latency vs the alpha*s_W bound"
+            );
             let _ = writeln!(out, "# TYPE medes_slo_startup_us summary");
             for s in &slo {
-                let f = escape_label(&s.func);
+                let f = escape_prom_label(&s.func);
                 for (v, label) in [(s.p50_us, "0.5"), (s.p95_us, "0.95"), (s.p99_us, "0.99")] {
                     let _ = writeln!(
                         out,
                         "medes_slo_startup_us{{function=\"{f}\",quantile=\"{label}\"}} {v}"
                     );
                 }
+                // The histogram's exact running sum — not the lossy
+                // `mean * count` reconstruction.
                 let _ = writeln!(
                     out,
                     "medes_slo_startup_us_sum{{function=\"{f}\"}} {}",
-                    s.mean_us * s.count as f64
+                    s.sum_us
                 );
                 let _ = writeln!(
                     out,
@@ -538,23 +914,44 @@ impl Obs {
                     s.count
                 );
             }
+            let _ = writeln!(
+                out,
+                "# HELP medes_slo_bound_us the alpha*s_W bound in effect"
+            );
             let _ = writeln!(out, "# TYPE medes_slo_bound_us gauge");
             for s in &slo {
                 let _ = writeln!(
                     out,
                     "medes_slo_bound_us{{function=\"{}\"}} {}",
-                    escape_label(&s.func),
+                    escape_prom_label(&s.func),
                     s.bound_us
                 );
             }
+            let _ = writeln!(
+                out,
+                "# HELP medes_slo_violations_total requests over their bound"
+            );
             let _ = writeln!(out, "# TYPE medes_slo_violations_total counter");
             for s in &slo {
                 let _ = writeln!(
                     out,
                     "medes_slo_violations_total{{function=\"{}\"}} {}",
-                    escape_label(&s.func),
+                    escape_prom_label(&s.func),
                     s.violations
                 );
+            }
+            for (func, worst) in &violators {
+                let f = escape_prom_label(func);
+                for (rank, v) in worst.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "# slo_violation medes_slo_startup_us{{function=\"{f}\"}} rank={} latency_us={} node={} trace_id={:016x}",
+                        rank + 1,
+                        v.latency_us,
+                        v.node,
+                        v.trace_id
+                    );
+                }
             }
         }
         out
@@ -924,29 +1321,187 @@ mod tests {
 
     /// Satellite (stable ordering audit): the Prometheus exposition is
     /// name-sorted by raw byte order — golden bytes pinned so any
-    /// ordering or formatting drift fails loudly.
+    /// ordering or formatting drift fails loudly. Covers `# HELP`
+    /// lines (a described metric gets one, an undescribed one
+    /// doesn't) and the exact-sum SLO `_sum` line.
     #[test]
     fn prometheus_export_is_name_sorted_golden() {
         let obs = Obs::new(ObsConfig::enabled());
         obs.gauge_set("medes.z.level", 2.5);
         obs.counter_add("medes.a.ops", 3);
+        obs.describe("medes.a.ops", "test ops");
         obs.slo_record("fn-b", 4, 0);
         assert_eq!(
             obs.export_prometheus(),
-            "# TYPE medes_a_ops counter\n\
+            "# HELP medes_a_ops test ops\n\
+             # TYPE medes_a_ops counter\n\
              medes_a_ops 3\n\
              # TYPE medes_z_level gauge\n\
              medes_z_level 2.5\n\
+             # HELP medes_slo_startup_us per-function startup latency vs the alpha*s_W bound\n\
              # TYPE medes_slo_startup_us summary\n\
              medes_slo_startup_us{function=\"fn-b\",quantile=\"0.5\"} 4\n\
              medes_slo_startup_us{function=\"fn-b\",quantile=\"0.95\"} 4\n\
              medes_slo_startup_us{function=\"fn-b\",quantile=\"0.99\"} 4\n\
              medes_slo_startup_us_sum{function=\"fn-b\"} 4\n\
              medes_slo_startup_us_count{function=\"fn-b\"} 1\n\
+             # HELP medes_slo_bound_us the alpha*s_W bound in effect\n\
              # TYPE medes_slo_bound_us gauge\n\
              medes_slo_bound_us{function=\"fn-b\"} 0\n\
+             # HELP medes_slo_violations_total requests over their bound\n\
              # TYPE medes_slo_violations_total counter\n\
              medes_slo_violations_total{function=\"fn-b\"} 0\n"
+        );
+    }
+
+    /// Satellite 1: the SLO `_sum` line is the histogram's exact
+    /// running sum (equal to the raw-sample sum), not `mean * count`.
+    #[test]
+    fn slo_sum_line_is_exact_raw_sample_sum() {
+        let obs = Obs::new(ObsConfig::enabled());
+        let samples = [7u64, 11, 13, 1_000_003, 999_983, 3];
+        for &v in &samples {
+            obs.slo_record("f", v, 0);
+        }
+        let exact: f64 = samples.iter().map(|&v| v as f64).sum();
+        let prom = obs.export_prometheus();
+        let sum_line = prom
+            .lines()
+            .find(|l| l.starts_with("medes_slo_startup_us_sum"))
+            .unwrap();
+        assert_eq!(
+            sum_line,
+            format!("medes_slo_startup_us_sum{{function=\"f\"}} {exact}")
+        );
+    }
+
+    /// Satellite 2: label escaping round-trips a hostile function name
+    /// (backslash, quote, newline) and never breaks the line-oriented
+    /// exposition.
+    #[test]
+    fn escape_label_round_trips_hostile_function_name() {
+        let hostile = "bad\"fn\\name\nwith newline";
+        assert_eq!(unescape_prom_label(&escape_prom_label(hostile)), hostile);
+        assert!(!escape_prom_label(hostile).contains('\n'));
+        let obs = Obs::new(ObsConfig::enabled());
+        obs.slo_record(hostile, 9, 0);
+        let prom = obs.export_prometheus();
+        // Every exposition line stays a complete series or comment —
+        // an unescaped newline would leave a dangling fragment line.
+        for line in prom.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("medes_"),
+                "corrupt line: {line:?}"
+            );
+        }
+        assert!(prom.contains("function=\"bad\\\"fn\\\\name\\nwith newline\""));
+        // Unknown escapes pass through unchanged.
+        assert_eq!(unescape_prom_label("a\\zb"), "a\\zb");
+        assert_eq!(unescape_prom_label("trail\\"), "trail\\");
+    }
+
+    /// Tentpole: labeled series are additive-only — flat metrics and
+    /// every export stay byte-identical with labels off, and with
+    /// labels on the flat aggregate equals the sum of its labeled
+    /// children.
+    #[test]
+    fn labels_off_is_byte_identical_and_on_sums_exactly() {
+        let plain = Obs::new(ObsConfig::enabled());
+        let off = Obs::new(ObsConfig::enabled());
+        let on = Obs::new(ObsConfig::enabled().labeled());
+        assert!(!off.labels_enabled());
+        assert!(on.labels_enabled());
+        for obs in [&plain, &off, &on] {
+            obs.counter_add("medes.restore.ops", 2);
+            obs.record("medes.platform.e2e_us", 50);
+        }
+        for obs in [&off, &on] {
+            // Paired 1:1 with the flat calls above: 2 = 1 + 1.
+            obs.incr_labeled("medes.restore.ops", || LabelSet::new().with("node", 0u64));
+            obs.incr_labeled("medes.restore.ops", || LabelSet::new().with("node", 1u64));
+            obs.record_labeled(
+                "medes.platform.e2e_us",
+                || LabelSet::new().with("node", 0u64),
+                50,
+                Some(0xbeef),
+            );
+        }
+        // Labels off: exports byte-identical to a handle that never
+        // made a labeled call.
+        assert_eq!(off.labeled_len(), 0);
+        assert_eq!(off.export_jsonl(), plain.export_jsonl());
+        assert_eq!(off.export_prometheus(), plain.export_prometheus());
+        assert!(!off.export_jsonl().contains("labeled"));
+        // Labels on: flat == Σ labeled, and the export carries both.
+        assert_eq!(on.labeled_len(), 3);
+        let sum: u64 = on
+            .labeled_snapshot()
+            .iter()
+            .filter(|(n, _, _)| *n == "medes.restore.ops")
+            .map(|(_, _, m)| match m {
+                Metric::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(sum, on.counter("medes.restore.ops"));
+        assert_eq!(
+            on.labeled_counter("medes.restore.ops", &LabelSet::new().with("node", 1u64)),
+            1
+        );
+        let prom = on.export_prometheus();
+        assert!(prom.contains("medes_restore_ops 2"));
+        assert!(prom.contains("medes_restore_ops{node=\"0\"} 1"));
+        assert!(prom.contains("medes_restore_ops{node=\"1\"} 1"));
+        assert!(prom.contains("medes_platform_e2e_us_count{node=\"0\"} 1"));
+        assert!(
+            prom.contains("# exemplar medes_platform_e2e_us{node=\"0\"} bucket="),
+            "labeled exemplar annotation missing:\n{prom}"
+        );
+        let tail = on.export_jsonl();
+        let v = json::parse(tail.lines().last().unwrap()).unwrap();
+        assert_eq!(v["labeled"]["medes.restore.ops{node=0}"], 1);
+        assert_eq!(v["metrics"]["medes.restore.ops"], 2);
+    }
+
+    /// Tentpole: traced SLO recording retains violators and surfaces
+    /// them as `# slo_violation` annotations; with labels off the same
+    /// call degrades to plain recording (no annotations, same
+    /// violation counts).
+    #[test]
+    fn slo_violators_annotate_prometheus_when_labeled() {
+        let on = Obs::new(ObsConfig::enabled().labeled());
+        let off = Obs::new(ObsConfig::enabled());
+        for obs in [&on, &off] {
+            obs.slo_record_traced("hot", 50, 100, 0x11, 0);
+            obs.slo_record_traced("hot", 500, 100, 0x22, 3);
+            obs.slo_record_traced("hot", 300, 100, 0x33, 1);
+        }
+        assert_eq!(on.slo_violations(), 2);
+        assert_eq!(off.slo_violations(), 2, "labels off still counts");
+        assert!(off.slo_violators().is_empty());
+        let worst = on.slo_violators();
+        assert_eq!(worst.len(), 1);
+        assert_eq!(worst[0].0, "hot");
+        assert_eq!(worst[0].1[0].trace_id, 0x22);
+        assert_eq!(worst[0].1[0].node, 3);
+        let prom = on.export_prometheus();
+        assert!(prom.contains(
+            "# slo_violation medes_slo_startup_us{function=\"hot\"} rank=1 latency_us=500 node=3 trace_id=0000000000000022"
+        ));
+        assert!(!off.export_prometheus().contains("# slo_violation"));
+        // Flat traced histogram recording keeps exemplars only when
+        // labels are on.
+        on.record_traced("medes.platform.startup_us", 40, 0x44);
+        off.record_traced("medes.platform.startup_us", 40, 0x44);
+        assert!(on
+            .export_prometheus()
+            .contains("# exemplar medes_platform_startup_us bucket="));
+        assert!(!off.export_prometheus().contains("# exemplar"));
+        assert_eq!(off.counter("medes.platform.startup_us"), 0);
+        assert_eq!(
+            off.with_histogram("medes.platform.startup_us", |h| h.count()),
+            Some(1),
+            "labels off still records the flat sample"
         );
     }
 

@@ -7,7 +7,9 @@
 //! samples. Metric names follow `medes.<subsystem>.<name>`.
 
 use crate::json::{Json, JsonMap};
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 
 /// Linear sub-buckets per power-of-two octave.
 const SUB_BUCKETS: usize = 32;
@@ -24,6 +26,11 @@ pub struct LogLinearHistogram {
     sum: f64,
     min: u64,
     max: u64,
+    /// Sparse per-bucket exemplars: `bucket index → (max sample seen in
+    /// that bucket, its deterministic trace id)`. Only populated via
+    /// [`LogLinearHistogram::record_traced`]; plain `record` never
+    /// touches it, so exemplar-free histograms carry no extra state.
+    exemplars: BTreeMap<usize, (u64, u64)>,
 }
 
 impl Default for LogLinearHistogram {
@@ -34,6 +41,7 @@ impl Default for LogLinearHistogram {
             sum: 0.0,
             min: u64::MAX,
             max: 0,
+            exemplars: BTreeMap::new(),
         }
     }
 }
@@ -73,6 +81,31 @@ impl LogLinearHistogram {
         self.sum += v as f64;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Records one sample and retains `trace_id` as the bucket's
+    /// exemplar if `v` is the largest sample that bucket has seen (ties
+    /// keep the earliest, so replay order — which is deterministic
+    /// under the simulator — fully determines the exemplar set).
+    pub fn record_traced(&mut self, v: u64, trace_id: u64) {
+        self.record(v);
+        match self.exemplars.entry(bucket_index(v)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((v, trace_id));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if v > e.get().0 {
+                    e.insert((v, trace_id));
+                }
+            }
+        }
+    }
+
+    /// Bucket-sorted exemplars as `(bucket index, max sample, trace
+    /// id)` triples. Empty unless samples came in via
+    /// [`LogLinearHistogram::record_traced`].
+    pub fn exemplars(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.exemplars.iter().map(|(&idx, &(v, id))| (idx, v, id))
     }
 
     /// Number of samples.
@@ -154,11 +187,162 @@ pub enum Metric {
     Hist(LogLinearHistogram),
 }
 
+/// A label value: a small integer (node index, shard, owner) or a
+/// short string (function class, op name). `Cow` lets call sites pass
+/// `&'static str` without allocating while still admitting owned
+/// strings for dynamic values; equality/ordering/hashing see through
+/// the `Cow`, so a borrowed and an owned copy of the same text key the
+/// same series.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SmallValue {
+    /// Integer-valued label (node id, shard index, owner).
+    U64(u64),
+    /// String-valued label (function class, op).
+    Str(Cow<'static, str>),
+}
+
+impl fmt::Display for SmallValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmallValue::U64(v) => write!(f, "{v}"),
+            SmallValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for SmallValue {
+    fn from(v: u64) -> Self {
+        SmallValue::U64(v)
+    }
+}
+
+impl From<usize> for SmallValue {
+    fn from(v: usize) -> Self {
+        SmallValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for SmallValue {
+    fn from(v: u32) -> Self {
+        SmallValue::U64(v as u64)
+    }
+}
+
+impl From<&'static str> for SmallValue {
+    fn from(v: &'static str) -> Self {
+        SmallValue::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for SmallValue {
+    fn from(v: String) -> Self {
+        SmallValue::Str(Cow::Owned(v))
+    }
+}
+
+/// Name under which dropped type-mismatched writes surface in
+/// snapshots and exports.
+pub const TYPE_MISMATCH_METRIC: &str = "medes.obs.type_mismatch";
+
+/// Maximum labels per [`LabelSet`]. Telemetry dimensionality is a
+/// cardinality budget, not a data model — four is enough for
+/// `(node, func, owner/shard, op)` and keeps the per-series key small.
+pub const MAX_LABELS: usize = 4;
+
+/// A bounded, key-sorted set of at most [`MAX_LABELS`] label pairs.
+/// Keys are `'static` (they name dimensions, not values); insertion
+/// keeps the pairs sorted by key so two sets with the same pairs in
+/// any build order compare, hash, and iterate identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelSet {
+    pairs: Vec<(&'static str, SmallValue)>,
+}
+
+impl LabelSet {
+    /// Creates an empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the set with `key=value` added (builder style). An
+    /// existing key is overwritten in place; a fifth distinct key is
+    /// ignored (with a `debug_assert!`) — the bound is the point.
+    pub fn with(mut self, key: &'static str, value: impl Into<SmallValue>) -> Self {
+        let value = value.into();
+        match self.pairs.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => self.pairs[i].1 = value,
+            Err(i) => {
+                if self.pairs.len() < MAX_LABELS {
+                    self.pairs.insert(i, (key, value));
+                } else {
+                    debug_assert!(false, "LabelSet over {MAX_LABELS} labels: dropped {key}");
+                }
+            }
+        }
+        self
+    }
+
+    /// The pairs, key-sorted.
+    pub fn pairs(&self) -> &[(&'static str, SmallValue)] {
+        &self.pairs
+    }
+
+    /// The value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&SmallValue> {
+        self.pairs
+            .binary_search_by(|(k, _)| (*k).cmp(key))
+            .ok()
+            .map(|i| &self.pairs[i].1)
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Renders as `k=v,k=v` (key-sorted, no quoting) — the compact
+    /// form used in JSON tails and series names.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+}
+
+impl fmt::Display for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
 /// A registry of named metrics. Names should be `'static` dotted paths
-/// (`medes.net.rdma_bytes`).
+/// (`medes.net.rdma_bytes`). Alongside the flat map there is a
+/// separate `(name, LabelSet)`-keyed map of dimensional series —
+/// labeled updates never touch the flat metrics, so a build with
+/// labels off is byte-identical to one that never heard of them.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     metrics: HashMap<&'static str, Metric>,
+    labeled: HashMap<(&'static str, LabelSet), Metric>,
+    help: HashMap<&'static str, &'static str>,
+    /// Writes that hit a name already registered under a different
+    /// metric type. Production telemetry must not kill a run over a
+    /// name collision, so the mismatched write is dropped and counted
+    /// here (surfaced as `medes.obs.type_mismatch`); debug builds
+    /// still assert.
+    type_mismatches: u64,
 }
 
 impl MetricsRegistry {
@@ -167,36 +351,188 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// Adds to a counter (creates it at 0 first).
+    /// Adds to a counter (creates it at 0 first). A name registered
+    /// under a different type drops the write and counts a mismatch
+    /// (panicking only under `debug_assertions`).
     pub fn counter_add(&mut self, name: &'static str, delta: u64) {
         match self.metrics.entry(name).or_insert(Metric::Counter(0)) {
             Metric::Counter(v) => *v += delta,
-            other => panic!("metric {name} is not a counter: {other:?}"),
+            other => {
+                self.type_mismatches += 1;
+                debug_assert!(false, "metric {name} is not a counter: {other:?}");
+            }
         }
     }
 
-    /// Sets a gauge.
+    /// Sets a gauge (same mismatch policy as
+    /// [`MetricsRegistry::counter_add`]).
     pub fn gauge_set(&mut self, name: &'static str, value: f64) {
         match self.metrics.entry(name).or_insert(Metric::Gauge(0.0)) {
             Metric::Gauge(v) => *v = value,
-            other => panic!("metric {name} is not a gauge: {other:?}"),
+            other => {
+                self.type_mismatches += 1;
+                debug_assert!(false, "metric {name} is not a gauge: {other:?}");
+            }
         }
     }
 
-    /// Records a histogram sample.
+    /// Records a histogram sample (same mismatch policy as
+    /// [`MetricsRegistry::counter_add`]).
     pub fn record(&mut self, name: &'static str, sample: u64) {
+        self.record_inner(name, sample, None);
+    }
+
+    /// Records a histogram sample tagged with the deterministic trace
+    /// id of the operation that produced it (retained per bucket as
+    /// the max-sample exemplar; see
+    /// [`LogLinearHistogram::record_traced`]).
+    pub fn record_traced(&mut self, name: &'static str, sample: u64, trace_id: u64) {
+        self.record_inner(name, sample, Some(trace_id));
+    }
+
+    fn record_inner(&mut self, name: &'static str, sample: u64, trace_id: Option<u64>) {
         match self
             .metrics
             .entry(name)
             .or_insert_with(|| Metric::Hist(LogLinearHistogram::new()))
         {
-            Metric::Hist(h) => h.record(sample),
-            other => panic!("metric {name} is not a histogram: {other:?}"),
+            Metric::Hist(h) => match trace_id {
+                Some(id) => h.record_traced(sample, id),
+                None => h.record(sample),
+            },
+            other => {
+                self.type_mismatches += 1;
+                debug_assert!(false, "metric {name} is not a histogram: {other:?}");
+            }
         }
     }
 
-    /// Current counter value (0 if absent).
+    /// Writes dropped because the name was already registered under a
+    /// different metric type.
+    pub fn type_mismatches(&self) -> u64 {
+        self.type_mismatches
+    }
+
+    /// Registers a static help string for `name`, surfaced as the
+    /// `# HELP` line in the Prometheus exposition. Last write wins;
+    /// help registration never creates a metric.
+    pub fn describe(&mut self, name: &'static str, help: &'static str) {
+        self.help.insert(name, help);
+    }
+
+    /// The registered help string for `name`, if any.
+    pub fn help(&self, name: &str) -> Option<&'static str> {
+        self.help.get(name).copied()
+    }
+
+    /// Adds to the labeled counter `(name, labels)`. Labeled series
+    /// live in their own map: this never touches the flat counter of
+    /// the same name (call both to keep `flat == Σ labeled`).
+    pub fn counter_add_labeled(&mut self, name: &'static str, labels: LabelSet, delta: u64) {
+        match self
+            .labeled
+            .entry((name, labels))
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v += delta,
+            other => {
+                self.type_mismatches += 1;
+                debug_assert!(false, "labeled metric {name} is not a counter: {other:?}");
+            }
+        }
+    }
+
+    /// Sets the labeled gauge `(name, labels)`.
+    pub fn gauge_set_labeled(&mut self, name: &'static str, labels: LabelSet, value: f64) {
+        match self
+            .labeled
+            .entry((name, labels))
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(v) => *v = value,
+            other => {
+                self.type_mismatches += 1;
+                debug_assert!(false, "labeled metric {name} is not a gauge: {other:?}");
+            }
+        }
+    }
+
+    /// Records a sample into the labeled histogram `(name, labels)`,
+    /// optionally tagging it with an exemplar trace id.
+    pub fn record_labeled(
+        &mut self,
+        name: &'static str,
+        labels: LabelSet,
+        sample: u64,
+        trace_id: Option<u64>,
+    ) {
+        match self
+            .labeled
+            .entry((name, labels))
+            .or_insert_with(|| Metric::Hist(LogLinearHistogram::new()))
+        {
+            Metric::Hist(h) => match trace_id {
+                Some(id) => h.record_traced(sample, id),
+                None => h.record(sample),
+            },
+            other => {
+                self.type_mismatches += 1;
+                debug_assert!(false, "labeled metric {name} is not a histogram: {other:?}");
+            }
+        }
+    }
+
+    /// Current labeled counter value (0 if absent).
+    pub fn labeled_counter(&self, name: &str, labels: &LabelSet) -> u64 {
+        match self
+            .labeled
+            .iter()
+            .find(|((n, l), _)| *n == name && l == labels)
+        {
+            Some((_, Metric::Counter(v))) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Number of labeled series.
+    pub fn labeled_len(&self) -> usize {
+        self.labeled.len()
+    }
+
+    /// Snapshot of all labeled series, sorted by name then label set —
+    /// the deterministic iteration order every export relies on.
+    pub fn labeled_snapshot(&self) -> Vec<(&'static str, LabelSet, Metric)> {
+        let mut out: Vec<_> = self
+            .labeled
+            .iter()
+            .map(|((n, l), m)| (*n, l.clone(), m.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(b.0).then_with(|| a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Serializes the labeled series to a JSON object keyed
+    /// `name{k=v,...}`, name-then-label sorted. Empty object when no
+    /// labeled series exist.
+    pub fn labeled_to_json(&self) -> Json {
+        let mut m = JsonMap::new();
+        for (name, labels, metric) in self.labeled_snapshot() {
+            let key = format!("{name}{{{labels}}}");
+            match metric {
+                Metric::Counter(v) => m.insert(&key, v),
+                Metric::Gauge(v) => m.insert(&key, v),
+                Metric::Hist(h) => m.insert(&key, h.to_json()),
+            }
+        }
+        Json::Object(m)
+    }
+
+    /// Current counter value (0 if absent). `medes.obs.type_mismatch`
+    /// reads the internal mismatch count.
     pub fn counter(&self, name: &str) -> u64 {
+        if name == TYPE_MISMATCH_METRIC {
+            return self.type_mismatches;
+        }
         match self.metrics.get(name) {
             Some(Metric::Counter(v)) => *v,
             _ => 0,
@@ -229,9 +565,15 @@ impl MetricsRegistry {
         self.metrics.is_empty()
     }
 
-    /// Name-sorted snapshot of all metrics.
+    /// Name-sorted snapshot of all metrics. When type-mismatched
+    /// writes were dropped, a synthetic `medes.obs.type_mismatch`
+    /// counter appears so the damage is visible in every export; clean
+    /// registries snapshot exactly as before.
     pub fn snapshot(&self) -> Vec<(&'static str, Metric)> {
         let mut out: Vec<_> = self.metrics.iter().map(|(k, v)| (*k, v.clone())).collect();
+        if self.type_mismatches > 0 {
+            out.push((TYPE_MISMATCH_METRIC, Metric::Counter(self.type_mismatches)));
+        }
         out.sort_by_key(|(k, _)| *k);
         out
     }
@@ -357,5 +699,118 @@ mod tests {
         let j = m.to_json();
         assert_eq!(j["medes.platform.starts.warm"], 3);
         assert_eq!(j["medes.net.rdma_read_us"]["count"], 2);
+    }
+
+    /// Tentpole: label sets are key-sorted regardless of build order,
+    /// bounded at [`MAX_LABELS`], and overwrite-in-place on repeat
+    /// keys.
+    #[test]
+    fn label_sets_sort_bound_and_overwrite() {
+        let a = LabelSet::new().with("node", 3u64).with("func", "resnet");
+        let b = LabelSet::new().with("func", "resnet").with("node", 3u64);
+        assert_eq!(a, b, "build order must not matter");
+        assert_eq!(a.render(), "func=resnet,node=3");
+        assert_eq!(a.get("node"), Some(&SmallValue::U64(3)));
+        assert_eq!(a.get("absent"), None);
+        let c = a.clone().with("node", 4u64);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("node"), Some(&SmallValue::U64(4)));
+        // Owned and borrowed strings key the same series.
+        let owned = LabelSet::new().with("func", "resnet".to_string());
+        assert_eq!(owned, LabelSet::new().with("func", "resnet"));
+    }
+
+    /// Tentpole: labeled series live in their own map, never disturb
+    /// the flat metric of the same name, and snapshot in
+    /// name-then-label order.
+    #[test]
+    fn labeled_series_are_separate_and_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("medes.restore.ops", 5);
+        m.counter_add_labeled("medes.restore.ops", LabelSet::new().with("node", 1u64), 2);
+        m.counter_add_labeled("medes.restore.ops", LabelSet::new().with("node", 0u64), 3);
+        m.record_labeled(
+            "medes.restore.op_us",
+            LabelSet::new().with("node", 0u64),
+            40,
+            Some(0xabc),
+        );
+        assert_eq!(m.counter("medes.restore.ops"), 5, "flat untouched");
+        assert_eq!(m.len(), 1, "labeled series don't count as flat metrics");
+        assert_eq!(m.labeled_len(), 3);
+        assert_eq!(
+            m.labeled_counter("medes.restore.ops", &LabelSet::new().with("node", 0u64)),
+            3
+        );
+        let snap = m.labeled_snapshot();
+        let keys: Vec<String> = snap.iter().map(|(n, l, _)| format!("{n}{{{l}}}")).collect();
+        assert_eq!(
+            keys,
+            [
+                "medes.restore.op_us{node=0}",
+                "medes.restore.ops{node=0}",
+                "medes.restore.ops{node=1}",
+            ]
+        );
+        let j = m.labeled_to_json();
+        assert_eq!(j["medes.restore.ops{node=1}"], 2);
+        assert_eq!(j["medes.restore.op_us{node=0}"]["count"], 1);
+    }
+
+    /// Tentpole: each bucket's exemplar is the max sample's trace id,
+    /// ties keep the earliest, and plain `record` leaves exemplars
+    /// untouched.
+    #[test]
+    fn exemplars_track_bucket_max_samples() {
+        let mut h = LogLinearHistogram::new();
+        h.record(1_000_000); // no exemplar
+        h.record_traced(10, 0x1);
+        h.record_traced(12, 0x2); // same octave-0 region? idx 10 vs 12 differ
+        h.record_traced(12, 0x3); // tie: first wins
+        h.record_traced(1 << 20, 0x4);
+        h.record_traced((1 << 20) + 1, 0x5); // same bucket, larger sample
+        let ex: Vec<(usize, u64, u64)> = h.exemplars().collect();
+        assert_eq!(ex.len(), 3);
+        assert_eq!(ex[0], (10, 10, 0x1));
+        assert_eq!(ex[1], (12, 12, 0x2));
+        assert_eq!(ex[2].1, (1 << 20) + 1);
+        assert_eq!(ex[2].2, 0x5);
+        assert_eq!(h.count(), 6);
+    }
+
+    /// Satellite: a type-mismatched write is dropped and counted, not
+    /// fatal in release builds (debug builds still assert — caught
+    /// here so the count is verified under both profiles).
+    #[test]
+    fn type_mismatch_is_counted_not_fatal() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut m = MetricsRegistry::new();
+        m.counter_add("medes.x.ops", 1);
+        let r = catch_unwind(AssertUnwindSafe(|| m.gauge_set("medes.x.ops", 2.0)));
+        assert_eq!(r.is_err(), cfg!(debug_assertions));
+        let r = catch_unwind(AssertUnwindSafe(|| m.record("medes.x.ops", 3)));
+        assert_eq!(r.is_err(), cfg!(debug_assertions));
+        assert_eq!(m.type_mismatches(), 2);
+        assert_eq!(m.counter("medes.x.ops"), 1, "original counter intact");
+        assert_eq!(m.counter(TYPE_MISMATCH_METRIC), 2);
+        let snap = m.snapshot();
+        assert!(snap
+            .iter()
+            .any(|(n, v)| *n == TYPE_MISMATCH_METRIC && matches!(v, Metric::Counter(2))));
+        assert_eq!(m.to_json()[TYPE_MISMATCH_METRIC], 2);
+        // A clean registry never grows the synthetic counter.
+        let clean = MetricsRegistry::new();
+        assert!(clean.snapshot().is_empty());
+    }
+
+    /// Satellite: help strings attach to names without creating
+    /// metrics.
+    #[test]
+    fn describe_registers_help_without_creating_metrics() {
+        let mut m = MetricsRegistry::new();
+        m.describe("medes.x.ops", "operations started");
+        assert_eq!(m.help("medes.x.ops"), Some("operations started"));
+        assert_eq!(m.help("medes.y.ops"), None);
+        assert!(m.is_empty(), "describe must not create a metric");
     }
 }

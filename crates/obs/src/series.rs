@@ -88,6 +88,17 @@ impl SeriesStore {
                 Metric::Hist(_) => {}
             }
         }
+        // Labeled twins sample as `name{k=v,...}` series, so the
+        // timeline's `--group-by` can break a flat aggregate down by
+        // dimension. Empty with labels off — exports stay byte-stable.
+        for (name, labels, metric) in reg.labeled_snapshot() {
+            let key = format!("{name}{{{labels}}}");
+            match metric {
+                Metric::Counter(v) => self.point(&key, SeriesKind::Counter, t_us, v as f64),
+                Metric::Gauge(v) => self.point(&key, SeriesKind::Gauge, t_us, v),
+                Metric::Hist(_) => {}
+            }
+        }
     }
 
     /// Number of distinct series.
@@ -237,6 +248,30 @@ mod tests {
             vec![(100, 7.0), (200, 8.0)]
         );
         assert_eq!(s.get("medes.x.level").unwrap().kind, SeriesKind::Gauge);
+    }
+
+    /// Tentpole: labeled twins sample as `name{labels}` series next to
+    /// their flat parents; with no labeled data the sample set is
+    /// unchanged.
+    #[test]
+    fn sample_registry_includes_labeled_series() {
+        use crate::metrics::LabelSet;
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("medes.x.ops", 7);
+        reg.counter_add_labeled("medes.x.ops", LabelSet::new().with("node", 1u64), 3);
+        reg.counter_add_labeled("medes.x.ops", LabelSet::new().with("node", 2u64), 4);
+        let mut s = SeriesStore::new();
+        s.sample_registry(&reg, 100);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get("medes.x.ops").unwrap().points, vec![(100, 7.0)]);
+        assert_eq!(
+            s.get("medes.x.ops{node=1}").unwrap().points,
+            vec![(100, 3.0)]
+        );
+        assert_eq!(
+            s.get("medes.x.ops{node=2}").unwrap().points,
+            vec![(100, 4.0)]
+        );
     }
 
     #[test]

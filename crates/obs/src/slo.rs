@@ -12,6 +12,23 @@ use crate::json::{Json, JsonMap};
 use crate::metrics::LogLinearHistogram;
 use std::collections::BTreeMap;
 
+/// How many worst violating requests each function retains for
+/// drill-down. Small and fixed: the tracker's memory stays bounded no
+/// matter how many requests violate.
+pub const TOP_VIOLATORS: usize = 8;
+
+/// One SLO-violating request retained for drill-down: enough identity
+/// to find the trace (deterministic id) and blame a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloViolator {
+    /// Deterministic trace id of the violating request (0 = untraced).
+    pub trace_id: u64,
+    /// Observed startup latency, microseconds.
+    pub latency_us: u64,
+    /// Node the request ran on.
+    pub node: u64,
+}
+
 /// Per-function SLO state: latency histogram + violation count.
 #[derive(Debug, Clone, Default)]
 struct FnSlo {
@@ -19,6 +36,10 @@ struct FnSlo {
     /// Latest non-zero bound (`α · s_W`), microseconds; 0 = no bound.
     bound_us: u64,
     violations: u64,
+    /// Worst [`TOP_VIOLATORS`] violating requests, latency-descending.
+    /// Only fed by [`SloTracker::record_traced`]; the untraced path
+    /// leaves it empty so label-off runs carry no extra state.
+    violators: Vec<SloViolator>,
 }
 
 /// Tracks per-function latency distributions against their SLO bounds.
@@ -48,6 +69,9 @@ pub struct FnSloSummary {
     pub bound_us: u64,
     /// Samples that individually exceeded the bound.
     pub violations: u64,
+    /// Exact sum of latency samples, microseconds (the histogram's
+    /// running sum — not reconstructed from the mean).
+    pub sum_us: f64,
 }
 
 impl SloTracker {
@@ -68,6 +92,55 @@ impl SloTracker {
                 f.violations += 1;
             }
         }
+    }
+
+    /// Like [`SloTracker::record`], but tags the sample with its
+    /// deterministic trace id and node so a violation can be drilled
+    /// back to the exact request. The histogram keeps the trace id as
+    /// a bucket exemplar; a violating sample additionally competes for
+    /// the function's top-[`TOP_VIOLATORS`] list (latency-descending,
+    /// ties keep the earlier request).
+    pub fn record_traced(
+        &mut self,
+        func: &str,
+        latency_us: u64,
+        bound_us: u64,
+        trace_id: u64,
+        node: u64,
+    ) {
+        let f = self.funcs.entry(func.to_string()).or_default();
+        f.hist.record_traced(latency_us, trace_id);
+        if bound_us > 0 {
+            f.bound_us = bound_us;
+            if latency_us > bound_us {
+                f.violations += 1;
+                let v = SloViolator {
+                    trace_id,
+                    latency_us,
+                    node,
+                };
+                // Stable insert keeps earlier requests ahead on ties.
+                let at = f.violators.partition_point(|w| w.latency_us >= latency_us);
+                f.violators.insert(at, v);
+                f.violators.truncate(TOP_VIOLATORS);
+            }
+        }
+    }
+
+    /// The worst retained violators for `func`, latency-descending
+    /// (empty for unknown functions or untraced recording).
+    pub fn violators(&self, func: &str) -> &[SloViolator] {
+        self.funcs.get(func).map_or(&[], |f| &f.violators)
+    }
+
+    /// All retained violators, name-sorted by function: `(func,
+    /// violators)` pairs, skipping functions with none.
+    pub fn all_violators(&self) -> Vec<(&str, &[SloViolator])> {
+        self.funcs
+            .iter()
+            .filter(|(_, f)| !f.violators.is_empty())
+            .map(|(name, f)| (name.as_str(), f.violators.as_slice()))
+            .collect()
     }
 
     /// Number of tracked functions.
@@ -99,6 +172,7 @@ impl SloTracker {
                 p99_us: f.hist.quantile(0.99).unwrap_or(0.0),
                 bound_us: f.bound_us,
                 violations: f.violations,
+                sum_us: f.hist.sum(),
             })
             .collect()
     }
@@ -179,6 +253,60 @@ mod tests {
         assert_eq!(s.violations, 1);
         assert_eq!(s.bound_us, 20);
         assert_eq!(s.count, 3);
+    }
+
+    /// Satellite 1: the summary's `sum_us` is the histogram's exact
+    /// running sum — it equals the raw-sample sum, not the lossy
+    /// `mean * count` reconstruction.
+    #[test]
+    fn sum_us_is_exact_raw_sample_sum() {
+        let mut t = SloTracker::new();
+        // Samples whose mean is not exactly representable in few bits,
+        // so mean*count round-trips would drift.
+        let samples = [7u64, 11, 13, 1_000_003, 999_983, 3];
+        for &v in &samples {
+            t.record("f", v, 0);
+        }
+        let s = &t.summary()[0];
+        let exact: f64 = samples.iter().map(|&v| v as f64).sum();
+        assert_eq!(
+            s.sum_us, exact,
+            "sum must be the running sum, not mean*count"
+        );
+    }
+
+    /// Tentpole: traced recording retains the worst violators
+    /// latency-descending, bounded at [`TOP_VIOLATORS`], with ties
+    /// keeping the earlier request.
+    #[test]
+    fn traced_violators_keep_topk_latency_descending() {
+        let mut t = SloTracker::new();
+        t.record_traced("f", 5, 10, 0x1, 0); // under bound: not retained
+        t.record_traced("f", 30, 10, 0x2, 1);
+        t.record_traced("f", 20, 10, 0x3, 2);
+        t.record_traced("f", 30, 10, 0x4, 3); // tie with 0x2: stays behind it
+        let v = t.violators("f");
+        assert_eq!(v.len(), 3);
+        assert_eq!(
+            v.iter().map(|w| w.trace_id).collect::<Vec<_>>(),
+            [0x2, 0x4, 0x3]
+        );
+        assert_eq!(v[0].node, 1);
+        // Bound: flood with increasing latencies; only the top K stay.
+        for i in 0..50u64 {
+            t.record_traced("f", 100 + i, 10, 0x100 + i, 4);
+        }
+        let v = t.violators("f");
+        assert_eq!(v.len(), TOP_VIOLATORS);
+        assert_eq!(v[0].latency_us, 149);
+        assert!(v.iter().all(|w| w.latency_us >= 142));
+        // Untraced recording never grows violator lists.
+        let mut plain = SloTracker::new();
+        plain.record("g", 100, 10);
+        assert!(plain.violators("g").is_empty());
+        assert_eq!(plain.total_violations(), 1);
+        assert_eq!(t.all_violators().len(), 1);
+        assert!(t.violators("absent").is_empty());
     }
 
     #[test]
